@@ -1,0 +1,43 @@
+"""CLAIM-FORMATS: "custom data formats can significantly speed up the
+computation, trading off resource requirements and accuracy" (§VIII).
+
+Sweeps the Fig. 3 kernel over float64/float32/bfloat16/fixed/posit:
+cycles and resources from the HLS engine, accuracy from quantizing the
+kernel's data through :mod:`repro.numerics`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.wrf.rrtmg import tau_major_reference
+from repro.hls import synthesize_kernel
+from repro.numerics import error_report, make_format, quantize
+
+_SPECS = ["f64", "f32", "bf16", "fixed<8.8>", "posit<16,1>"]
+
+
+@pytest.mark.parametrize("spec", _SPECS)
+def test_format_synthesis(benchmark, spec, rrtmg_affine, rrtmg_inputs):
+    kernel, module = rrtmg_affine
+    fmt = None if spec == "f64" else make_format(spec)
+    report = benchmark(
+        lambda: synthesize_kernel(module, kernel.name, number_format=fmt)
+    )
+    reference = tau_major_reference(rrtmg_inputs)
+    if spec == "f64":
+        accuracy = 0.0
+    else:
+        quantized_inputs = {
+            name: quantize(value, make_format(spec))
+            if np.issubdtype(np.asarray(value).dtype, np.floating) else value
+            for name, value in rrtmg_inputs.items()
+        }
+        got = tau_major_reference(quantized_inputs)
+        accuracy = error_report(reference, got).max_rel_error
+    print(f"\n{spec:12s} cycles={report.total_cycles:8d} "
+          f"LUT={report.resources.lut:7d} DSP={report.resources.dsp:5d} "
+          f"BRAM={report.resources.bram:4d} max_rel_err={accuracy:.2e}")
+    if spec != "f64":
+        f64 = synthesize_kernel(module, kernel.name)
+        assert report.total_cycles < f64.total_cycles   # faster...
+        assert accuracy > 0.0                           # ...but less exact

@@ -1,0 +1,81 @@
+"""CLAIM-RUNTIME: the resource manager's four duties (§VI-A) — dependency-
+aware scheduling, load balancing, data transfers, and rescheduling after
+failure — on a 100+-task workflow over a heterogeneous cluster."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ClusterMonitor,
+    EverestClient,
+    HEFTScheduler,
+    ResourceRequest,
+    RoundRobinScheduler,
+    default_cluster,
+    reschedule_after_failure,
+)
+
+
+def _wide_workflow(client, rng, stages=4, width=30):
+    previous = [client.submit(lambda i=i: i, name=f"s0_{i}",
+                              resources=ResourceRequest(
+                                  cpu_flops=float(rng.uniform(1e9, 5e10)),
+                                  cores=int(rng.integers(1, 8))))
+                for i in range(width)]
+    for stage in range(1, stages):
+        current = []
+        for i in range(width):
+            deps = [previous[i], previous[(i + 1) % width]]
+            current.append(client.submit(
+                lambda a, b: 0, *deps, name=f"s{stage}_{i}",
+                resources=ResourceRequest(
+                    cpu_flops=float(rng.uniform(1e9, 5e10)),
+                    cores=int(rng.integers(1, 8)),
+                ),
+            ))
+        previous = current
+    return previous
+
+
+def test_heft_vs_round_robin_makespan(benchmark):
+    cluster = default_cluster(4)
+    client = EverestClient(cluster)
+    _wide_workflow(client, np.random.default_rng(0))
+    assert len(client.graph.tasks) >= 100
+
+    heft = benchmark(HEFTScheduler().schedule, client.graph, cluster)
+    rr = RoundRobinScheduler().schedule(client.graph, cluster)
+    print(f"\n  HEFT makespan={heft.makespan:.3f}s "
+          f"round-robin={rr.makespan:.3f}s "
+          f"({rr.makespan / heft.makespan:.2f}x)")
+    assert heft.makespan <= rr.makespan * 1.02
+
+
+def test_load_balance_quality(benchmark):
+    cluster = default_cluster(4)
+    client = EverestClient(cluster)
+    _wide_workflow(client, np.random.default_rng(1))
+    schedule = benchmark(HEFTScheduler().schedule, client.graph, cluster)
+    report = ClusterMonitor(cluster).utilization(schedule)
+    assert report.imbalance < 3.0
+
+
+def test_failure_rescheduling(benchmark):
+    cluster = default_cluster(4)
+    client = EverestClient(cluster)
+    _wide_workflow(client, np.random.default_rng(2))
+    schedule = HEFTScheduler().schedule(client.graph, cluster)
+    fail_time = schedule.makespan * 0.3
+
+    repaired = benchmark(
+        reschedule_after_failure, client.graph, cluster, schedule,
+        "node1", fail_time,
+    )
+    assert repaired.rescheduled_tasks > 0
+    # No task keeps running on the failed node past the failure.
+    for placement in repaired.placements.values():
+        if placement.node == "node1":
+            assert placement.finish <= fail_time
+    print(f"\n  failure at {fail_time:.3f}s: "
+          f"{repaired.rescheduled_tasks} tasks rescheduled, "
+          f"makespan {schedule.makespan:.3f}s -> {repaired.makespan:.3f}s")

@@ -1,0 +1,44 @@
+"""FIG2: the complete EVEREST SDK pipeline (paper Fig. 2).
+
+One pass through every named component: application description (EKL) ->
+compilation (MLIR dialects) -> HLS-based synthesis -> Olympus integration
+and assembly -> EVP deployment -> runtime management with the autotuner.
+"""
+
+from repro.autotuner import MargotManager, OperatingPoint, Rank
+from repro.hls import synthesize_kernel
+from repro.olympus import ArchConfig, OlympusGenerator, lower_olympus_to_evp
+from repro.platforms import alveo_u55c
+
+
+def test_fig2_full_sdk_pipeline(benchmark, rrtmg_affine):
+    kernel, module = rrtmg_affine
+
+    def pipeline():
+        # HLS-based synthesis (Vitis/Bambu role).
+        report = synthesize_kernel(module, kernel.name)
+        # Olympus: integration & assembly with DSE.
+        generator = OlympusGenerator(alveo_u55c())
+        points = generator.explore(report)
+        system = generator.generate("rrtmg_system", [report])
+        system_ir = generator.emit_ir(system)
+        # EVP: deployment & runtime management.
+        deployment = lower_olympus_to_evp(system_ir)
+        # mARGOt knowledge from the DSE points.
+        knowledge = [
+            OperatingPoint(
+                {"config": config.label()},
+                {"latency_s": breakdown.total,
+                 "bram": float(resources.bram)},
+            )
+            for config, breakdown, resources in points
+        ]
+        manager = MargotManager(knowledge)
+        manager.set_rank(Rank({"latency_s": 1.0}))
+        best = manager.update()
+        return system, deployment, best
+
+    system, deployment, best = benchmark(pipeline)
+    assert system.fits()
+    assert any(op.name == "func.func" for op in deployment.body)
+    assert "r" in best.knobs["config"]

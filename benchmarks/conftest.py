@@ -1,0 +1,40 @@
+"""Benchmark configuration: register dialects, share compiled artifacts."""
+
+import numpy as np
+import pytest
+
+import repro.dialects  # noqa: F401 (registration side effect)
+
+
+@pytest.fixture(scope="session")
+def rrtmg_affine():
+    """The Fig. 3 kernel lowered to affine loops (shared across benches)."""
+    from repro.frontends.ekl import FIG3_MAJOR_ABSORBER, parse_kernel
+    from repro.frontends.ekl.lower import (
+        lower_ekl_to_esn,
+        lower_kernel_to_ekl,
+    )
+    from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+
+    kernel = parse_kernel(FIG3_MAJOR_ABSORBER)
+    module = lower_teil_to_affine(
+        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
+    )
+    return kernel, module
+
+
+@pytest.fixture(scope="session")
+def rrtmg_inputs():
+    rng = np.random.default_rng(42)
+    return dict(
+        press=rng.uniform(0.1, 1.0, 16),
+        strato=np.asarray(0.4),
+        bnd=np.asarray(3),
+        bnd_to_flav=rng.integers(0, 14, (2, 14)),
+        j_T=rng.integers(0, 7, 16),
+        j_p=rng.integers(0, 6, 16),
+        j_eta=rng.integers(0, 3, (14, 16, 2)),
+        r_mix=rng.uniform(0.5, 1.5, (14, 16, 2)),
+        f_major=rng.uniform(0.0, 1.0, (14, 16, 2, 2, 2)),
+        k_major=rng.uniform(0.0, 2.0, (8, 8, 4, 16)),
+    )

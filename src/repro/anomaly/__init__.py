@@ -1,0 +1,55 @@
+"""The anomaly-detection service (paper §VII).
+
+Two workflow nodes: **model selection** (AutoML over from-scratch
+detectors with a from-scratch TPE sampler) and **detection** (JSON output
+of anomalous indexes, with continuous model update).
+"""
+
+from repro.anomaly.automl import (
+    DEFAULT_SPACE,
+    ModelSelectionNode,
+    SelectionResult,
+    f1_score,
+)
+from repro.anomaly.detectors import (
+    DETECTOR_FACTORIES,
+    Detector,
+    IQRDetector,
+    IsolationForestDetector,
+    LocalOutlierFactorDetector,
+    MahalanobisDetector,
+    MovingWindowDetector,
+    ZScoreDetector,
+    make_detector,
+)
+from repro.anomaly.service import (
+    DataConfig,
+    DetectionNode,
+    DetectionReport,
+    load_data,
+)
+from repro.anomaly.tpe import TPESampler, Trial, minimize, random_search
+
+__all__ = [
+    "DEFAULT_SPACE",
+    "ModelSelectionNode",
+    "SelectionResult",
+    "f1_score",
+    "DETECTOR_FACTORIES",
+    "Detector",
+    "ZScoreDetector",
+    "IQRDetector",
+    "MahalanobisDetector",
+    "IsolationForestDetector",
+    "LocalOutlierFactorDetector",
+    "MovingWindowDetector",
+    "make_detector",
+    "DataConfig",
+    "DetectionNode",
+    "DetectionReport",
+    "load_data",
+    "TPESampler",
+    "Trial",
+    "minimize",
+    "random_search",
+]

@@ -1,0 +1,126 @@
+"""The model-selection node: AutoML over the detector zoo (paper §VII).
+
+"In model selection, AutoML techniques are used to automatically find the
+best model and its best hyperparameters on the provided data, using the
+Tree-structured Parzen Estimator...  After a specified amount of time, the
+node will output the best-found model."
+
+Selection maximizes F1 on a labelled validation split when labels exist;
+otherwise an unsupervised proxy (score contrast) is used.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.anomaly.detectors import Detector, make_detector
+from repro.anomaly.tpe import TPESampler, Trial
+from repro.errors import AnomalyError
+
+# Search space: the detector choice plus namespaced hyperparameters.
+DEFAULT_SPACE = {
+    "detector": ("choice", ["zscore", "iqr", "mahalanobis", "iforest",
+                            "lof", "moving_window"]),
+    "iqr.k": ("uniform", 1.0, 3.0),
+    "iforest.n_trees": ("int", 16, 96),
+    "iforest.sample_size": ("int", 64, 256),
+    "lof.k": ("int", 5, 30),
+    "moving_window.window": ("int", 4, 48),
+    "contamination": ("uniform", 0.01, 0.2),
+}
+
+
+def f1_score(predicted: List[int], truth: List[int], n: int) -> float:
+    """F1 of predicted anomaly indexes against ground truth."""
+    predicted_set, truth_set = set(predicted), set(truth)
+    tp = len(predicted_set & truth_set)
+    if tp == 0:
+        return 0.0
+    precision = tp / len(predicted_set)
+    recall = tp / len(truth_set)
+    return 2 * precision * recall / (precision + recall)
+
+
+def _build(params: Dict[str, object]) -> Tuple[Detector, float]:
+    name = str(params["detector"])
+    prefix = name + "."
+    kwargs = {
+        key[len(prefix):]: value for key, value in params.items()
+        if key.startswith(prefix)
+    }
+    contamination = float(params.get("contamination", 0.05))
+    return make_detector(name, **kwargs), contamination
+
+
+@dataclass
+class SelectionResult:
+    """Output of the model-selection node."""
+
+    best_params: Dict[str, object]
+    best_score: float  # the maximized objective (e.g. F1)
+    trials: List[Trial]
+    detector: Detector
+    contamination: float
+    elapsed_seconds: float
+
+    @property
+    def detector_name(self) -> str:
+        return str(self.best_params["detector"])
+
+
+class ModelSelectionNode:
+    """The AutoML node; drop it anywhere in a workflow."""
+
+    def __init__(self, space: Optional[dict] = None, seed: int = 0):
+        self.space = dict(space or DEFAULT_SPACE)
+        self.seed = seed
+
+    def run(self, X_train: np.ndarray, X_val: np.ndarray,
+            val_labels: Optional[List[int]] = None,
+            n_trials: int = 40,
+            time_budget_seconds: Optional[float] = None) -> SelectionResult:
+        """Search for the best detector within a trial/time budget."""
+        X_train = np.asarray(X_train, dtype=np.float64)
+        X_val = np.asarray(X_val, dtype=np.float64)
+        sampler = TPESampler(self.space, seed=self.seed)
+        started = time.perf_counter()
+
+        def objective(params: Dict[str, object]) -> float:
+            try:
+                detector, contamination = _build(params)
+                detector.fit(X_train)
+                predicted = detector.predict_indexes(X_val, contamination)
+            except Exception:
+                return 1.0  # infeasible configuration
+            if val_labels is not None:
+                return 1.0 - f1_score(predicted, val_labels, len(X_val))
+            # Unsupervised proxy: contrast between flagged and kept scores.
+            scores = detector.scores(X_val)
+            flagged = scores[predicted] if predicted else np.array([0.0])
+            kept = np.delete(scores, predicted) if predicted else scores
+            contrast = (flagged.mean() - kept.mean()) / (scores.std() + 1e-12)
+            return 1.0 / (1.0 + max(contrast, 0.0))
+
+        for _ in range(n_trials):
+            if time_budget_seconds is not None and \
+                    time.perf_counter() - started > time_budget_seconds:
+                break
+            params = sampler.ask()
+            sampler.tell(params, objective(params))
+        if not sampler.trials:
+            raise AnomalyError("model selection evaluated no trials")
+        best = sampler.best_trial
+        detector, contamination = _build(best.params)
+        detector.fit(X_train)
+        return SelectionResult(
+            best_params=best.params,
+            best_score=1.0 - best.value,
+            trials=list(sampler.trials),
+            detector=detector,
+            contamination=contamination,
+            elapsed_seconds=time.perf_counter() - started,
+        )

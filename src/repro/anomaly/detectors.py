@@ -1,0 +1,303 @@
+"""Anomaly detectors, implemented from scratch (paper §VII).
+
+The model-selection node's search space: every detector follows the same
+protocol — ``fit(X)`` on (mostly) normal data, ``scores(X)`` returning
+per-sample anomaly scores (higher = more anomalous), and
+``predict_indexes(X)`` thresholding by a contamination quantile, matching
+the service's JSON output of "indexes of data points that are considered
+anomalous".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import AnomalyError
+
+
+class Detector:
+    """Base protocol for all detectors."""
+
+    name = "base"
+
+    def fit(self, X: np.ndarray) -> "Detector":  # pragma: no cover
+        raise NotImplementedError
+
+    def scores(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def predict_indexes(self, X: np.ndarray,
+                        contamination: float = 0.05) -> List[int]:
+        """Indexes of the most anomalous samples (top quantile)."""
+        if not 0.0 < contamination < 0.5:
+            raise AnomalyError("contamination must be in (0, 0.5)")
+        scores = self.scores(X)
+        threshold = np.quantile(scores, 1.0 - contamination)
+        return [int(i) for i in np.nonzero(scores > threshold)[0]]
+
+    @staticmethod
+    def _as2d(X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.ndim != 2 or X.size == 0:
+            raise AnomalyError("detector input must be a non-empty 2D array")
+        return X
+
+
+class ZScoreDetector(Detector):
+    """Per-feature standard-score distance, aggregated by max."""
+
+    name = "zscore"
+
+    def __init__(self) -> None:
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "ZScoreDetector":
+        X = self._as2d(X)
+        self.mean = X.mean(axis=0)
+        self.std = X.std(axis=0) + 1e-12
+        return self
+
+    def scores(self, X) -> np.ndarray:
+        if self.mean is None:
+            raise AnomalyError("fit the detector first")
+        X = self._as2d(X)
+        return np.abs((X - self.mean) / self.std).max(axis=1)
+
+
+class IQRDetector(Detector):
+    """Tukey's fences: distance beyond the interquartile whiskers."""
+
+    name = "iqr"
+
+    def __init__(self, k: float = 1.5):
+        self.k = k
+        self.q1: Optional[np.ndarray] = None
+        self.q3: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "IQRDetector":
+        X = self._as2d(X)
+        self.q1 = np.quantile(X, 0.25, axis=0)
+        self.q3 = np.quantile(X, 0.75, axis=0)
+        return self
+
+    def scores(self, X) -> np.ndarray:
+        if self.q1 is None:
+            raise AnomalyError("fit the detector first")
+        X = self._as2d(X)
+        iqr = (self.q3 - self.q1) + 1e-12
+        low = self.q1 - self.k * iqr
+        high = self.q3 + self.k * iqr
+        below = np.maximum(0.0, low - X) / iqr
+        above = np.maximum(0.0, X - high) / iqr
+        return np.maximum(below, above).max(axis=1)
+
+
+class MahalanobisDetector(Detector):
+    """Distance under the fitted covariance (regularized)."""
+
+    name = "mahalanobis"
+
+    def __init__(self, regularization: float = 1e-6):
+        self.regularization = regularization
+        self.mean: Optional[np.ndarray] = None
+        self.precision: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "MahalanobisDetector":
+        X = self._as2d(X)
+        self.mean = X.mean(axis=0)
+        cov = np.cov(X, rowvar=False)
+        cov = np.atleast_2d(cov)
+        cov += self.regularization * np.eye(cov.shape[0])
+        self.precision = np.linalg.inv(cov)
+        return self
+
+    def scores(self, X) -> np.ndarray:
+        if self.mean is None:
+            raise AnomalyError("fit the detector first")
+        X = self._as2d(X)
+        centered = X - self.mean
+        return np.sqrt(np.einsum("ij,jk,ik->i", centered, self.precision,
+                                 centered))
+
+
+@dataclass
+class _ITreeNode:
+    split_feature: int = -1
+    split_value: float = 0.0
+    left: Optional["_ITreeNode"] = None
+    right: Optional["_ITreeNode"] = None
+    size: int = 0  # leaf size
+
+
+def _harmonic(n: float) -> float:
+    return float(np.log(n) + 0.5772156649) if n > 1 else 0.0
+
+
+def _c_factor(n: int) -> float:
+    if n <= 1:
+        return 0.0
+    return 2.0 * _harmonic(n - 1) - 2.0 * (n - 1) / n
+
+
+class IsolationForestDetector(Detector):
+    """Isolation Forest (Liu et al.), from scratch.
+
+    Anomalies isolate in few random splits; the score is
+    ``2^(-E[path] / c(n))``.
+    """
+
+    name = "iforest"
+
+    def __init__(self, n_trees: int = 64, sample_size: int = 256,
+                 seed: int = 0):
+        self.n_trees = n_trees
+        self.sample_size = sample_size
+        self.seed = seed
+        self.trees: List[_ITreeNode] = []
+        self.actual_sample = 0
+
+    def fit(self, X) -> "IsolationForestDetector":
+        X = self._as2d(X)
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        self.actual_sample = min(self.sample_size, n)
+        height_limit = int(np.ceil(np.log2(max(2, self.actual_sample))))
+        self.trees = []
+        for _ in range(self.n_trees):
+            idx = rng.choice(n, self.actual_sample,
+                             replace=self.actual_sample > n)
+            self.trees.append(self._grow(X[idx], 0, height_limit, rng))
+        return self
+
+    def _grow(self, X: np.ndarray, depth: int, limit: int,
+              rng: np.random.Generator) -> _ITreeNode:
+        if depth >= limit or X.shape[0] <= 1:
+            return _ITreeNode(size=X.shape[0])
+        feature = int(rng.integers(X.shape[1]))
+        lo, hi = X[:, feature].min(), X[:, feature].max()
+        if lo == hi:
+            return _ITreeNode(size=X.shape[0])
+        value = float(rng.uniform(lo, hi))
+        mask = X[:, feature] < value
+        return _ITreeNode(
+            split_feature=feature,
+            split_value=value,
+            left=self._grow(X[mask], depth + 1, limit, rng),
+            right=self._grow(X[~mask], depth + 1, limit, rng),
+        )
+
+    def _path_length(self, x: np.ndarray, node: _ITreeNode,
+                     depth: int) -> float:
+        while node.left is not None:
+            if x[node.split_feature] < node.split_value:
+                node = node.left
+            else:
+                node = node.right
+            depth += 1
+        return depth + _c_factor(max(node.size, 1))
+
+    def scores(self, X) -> np.ndarray:
+        if not self.trees:
+            raise AnomalyError("fit the detector first")
+        X = self._as2d(X)
+        c = _c_factor(self.actual_sample) or 1.0
+        out = np.empty(X.shape[0])
+        for i, x in enumerate(X):
+            mean_path = np.mean([
+                self._path_length(x, tree, 0) for tree in self.trees
+            ])
+            out[i] = 2.0 ** (-mean_path / c)
+        return out
+
+
+class LocalOutlierFactorDetector(Detector):
+    """Local Outlier Factor (Breunig et al.) over a KD-tree."""
+
+    name = "lof"
+
+    def __init__(self, k: int = 10):
+        self.k = k
+        self.train: Optional[np.ndarray] = None
+        self.tree: Optional[cKDTree] = None
+        self.train_lrd: Optional[np.ndarray] = None
+        self.k_dist: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "LocalOutlierFactorDetector":
+        X = self._as2d(X)
+        if X.shape[0] <= self.k:
+            raise AnomalyError(
+                f"LOF needs more than k={self.k} training samples"
+            )
+        self.train = X
+        self.tree = cKDTree(X)
+        dists, idx = self.tree.query(X, self.k + 1)
+        dists, idx = dists[:, 1:], idx[:, 1:]  # drop self
+        self.k_dist = dists[:, -1]
+        reach = np.maximum(dists, self.k_dist[idx])
+        self.train_lrd = 1.0 / (reach.mean(axis=1) + 1e-12)
+        return self
+
+    def scores(self, X) -> np.ndarray:
+        if self.tree is None:
+            raise AnomalyError("fit the detector first")
+        X = self._as2d(X)
+        dists, idx = self.tree.query(X, self.k)
+        reach = np.maximum(dists, self.k_dist[idx])
+        lrd = 1.0 / (reach.mean(axis=1) + 1e-12)
+        return self.train_lrd[idx].mean(axis=1) / (lrd + 1e-12)
+
+
+class MovingWindowDetector(Detector):
+    """Deviation from a trailing moving average (time-series residuals)."""
+
+    name = "moving_window"
+
+    def __init__(self, window: int = 16):
+        if window < 2:
+            raise AnomalyError("window must be at least 2")
+        self.window = window
+        self.residual_std: float = 1.0
+
+    def _residuals(self, X: np.ndarray) -> np.ndarray:
+        series = X.mean(axis=1)
+        pad = np.concatenate([np.repeat(series[0], self.window), series])
+        kernel = np.ones(self.window) / self.window
+        trail = np.convolve(pad, kernel, mode="valid")[: len(series)]
+        return series - trail
+
+    def fit(self, X) -> "MovingWindowDetector":
+        X = self._as2d(X)
+        residuals = self._residuals(X)
+        self.residual_std = float(residuals.std() + 1e-12)
+        return self
+
+    def scores(self, X) -> np.ndarray:
+        X = self._as2d(X)
+        return np.abs(self._residuals(X)) / self.residual_std
+
+
+DETECTOR_FACTORIES: Dict[str, type] = {
+    "zscore": ZScoreDetector,
+    "iqr": IQRDetector,
+    "mahalanobis": MahalanobisDetector,
+    "iforest": IsolationForestDetector,
+    "lof": LocalOutlierFactorDetector,
+    "moving_window": MovingWindowDetector,
+}
+
+
+def make_detector(name: str, **params) -> Detector:
+    """Instantiate a detector by name with hyperparameters."""
+    if name not in DETECTOR_FACTORIES:
+        raise AnomalyError(
+            f"unknown detector {name!r}; available: "
+            f"{sorted(DETECTOR_FACTORIES)}"
+        )
+    return DETECTOR_FACTORIES[name](**params)

@@ -1,0 +1,37 @@
+"""Air-quality monitoring use case (paper §II-C)."""
+
+from repro.apps.airquality.decision import (
+    DayPlan,
+    DecisionPolicy,
+    campaign_cost,
+    peak_concentration,
+    plan_days,
+)
+from repro.apps.airquality.dispersion import (
+    Site,
+    plume_concentration,
+    receptor_grid,
+    stability_class,
+)
+from repro.apps.airquality.mlcorrect import (
+    ForecastCorrector,
+    RidgeRegression,
+    WeatherParams,
+    direction_error_deg,
+)
+
+__all__ = [
+    "DayPlan",
+    "DecisionPolicy",
+    "campaign_cost",
+    "peak_concentration",
+    "plan_days",
+    "Site",
+    "plume_concentration",
+    "receptor_grid",
+    "stability_class",
+    "ForecastCorrector",
+    "RidgeRegression",
+    "WeatherParams",
+    "direction_error_deg",
+]

@@ -1,0 +1,112 @@
+"""ML error correction of weather forecasts (paper §II-C).
+
+"The ML-based method will combine multiple weather forecasts (due to the
+natural uncertainties of numerical weather simulations) forced by local
+weather observations on-site.  The approach focuses on three weather
+parameters that are frequently observed: the air temperature at 10m, the
+wind direction, and the wind speed."
+
+Implemented as ridge regression (closed form, from scratch) from ensemble
+statistics + on-site observations to the corrected parameters, with the
+wind direction handled in sin/cos space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EverestError
+
+
+class RidgeRegression:
+    """Plain L2-regularized least squares with intercept."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise EverestError("alpha must be non-negative")
+        self.alpha = alpha
+        self.weights: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = np.asarray(X, dtype=np.float64)
+        design = np.column_stack([np.ones(len(X)), X])
+        gram = design.T @ design
+        gram[np.diag_indices_from(gram)] += self.alpha
+        gram[0, 0] -= self.alpha  # do not penalize the intercept
+        self.weights = np.linalg.solve(gram, design.T @ np.asarray(y))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise EverestError("fit the model first")
+        design = np.column_stack([np.ones(len(X)), np.asarray(X)])
+        return design @ self.weights
+
+
+@dataclass
+class WeatherParams:
+    """The three observed parameters of the use case."""
+
+    temperature_10m: np.ndarray   # K, per time step
+    wind_speed: np.ndarray        # m/s
+    wind_direction: np.ndarray    # degrees
+
+
+class ForecastCorrector:
+    """Learns forecast-error corrections from on-site observations."""
+
+    def __init__(self, alpha: float = 1.0):
+        self.models: Dict[str, RidgeRegression] = {
+            "temperature_10m": RidgeRegression(alpha),
+            "wind_speed": RidgeRegression(alpha),
+            "dir_sin": RidgeRegression(alpha),
+            "dir_cos": RidgeRegression(alpha),
+        }
+
+    @staticmethod
+    def _features(ensemble_mean: WeatherParams,
+                  ensemble_spread: WeatherParams) -> np.ndarray:
+        return np.column_stack([
+            ensemble_mean.temperature_10m,
+            ensemble_mean.wind_speed,
+            np.sin(np.radians(ensemble_mean.wind_direction)),
+            np.cos(np.radians(ensemble_mean.wind_direction)),
+            ensemble_spread.temperature_10m,
+            ensemble_spread.wind_speed,
+        ])
+
+    def fit(self, ensemble_mean: WeatherParams,
+            ensemble_spread: WeatherParams,
+            observed: WeatherParams) -> "ForecastCorrector":
+        X = self._features(ensemble_mean, ensemble_spread)
+        self.models["temperature_10m"].fit(X, observed.temperature_10m)
+        self.models["wind_speed"].fit(X, observed.wind_speed)
+        self.models["dir_sin"].fit(
+            X, np.sin(np.radians(observed.wind_direction)))
+        self.models["dir_cos"].fit(
+            X, np.cos(np.radians(observed.wind_direction)))
+        return self
+
+    def correct(self, ensemble_mean: WeatherParams,
+                ensemble_spread: WeatherParams) -> WeatherParams:
+        X = self._features(ensemble_mean, ensemble_spread)
+        direction = np.degrees(np.arctan2(
+            self.models["dir_sin"].predict(X),
+            self.models["dir_cos"].predict(X),
+        )) % 360.0
+        return WeatherParams(
+            temperature_10m=self.models["temperature_10m"].predict(X),
+            wind_speed=np.clip(self.models["wind_speed"].predict(X),
+                               0.0, None),
+            wind_direction=direction,
+        )
+
+
+def direction_error_deg(predicted: np.ndarray,
+                        actual: np.ndarray) -> np.ndarray:
+    """Circular absolute error between directions (degrees, <= 180)."""
+    diff = np.abs(np.asarray(predicted) - np.asarray(actual)) % 360.0
+    return np.minimum(diff, 360.0 - diff)

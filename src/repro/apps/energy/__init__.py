@@ -1,0 +1,28 @@
+"""Renewable-energy prediction use case (paper §II-B)."""
+
+from repro.apps.energy.forecast import (
+    BacktestResult,
+    backtest,
+    build_features,
+    update_frequency_study,
+)
+from repro.apps.energy.kernel_ridge import KernelRidge, rbf_kernel
+from repro.apps.energy.windfarm import (
+    FarmHistory,
+    Turbine,
+    WindFarm,
+    synthesize_history,
+)
+
+__all__ = [
+    "BacktestResult",
+    "backtest",
+    "build_features",
+    "update_frequency_study",
+    "KernelRidge",
+    "rbf_kernel",
+    "FarmHistory",
+    "Turbine",
+    "WindFarm",
+    "synthesize_history",
+]

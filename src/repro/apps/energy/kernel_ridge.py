@@ -1,0 +1,66 @@
+"""Kernel Ridge regression, from scratch (paper §II-B).
+
+"The current version of the application uses the Kernel Ridge algorithm,
+which considers wind-related parameters and the corresponding energy
+produced in the farm."  Closed-form dual solution with an RBF kernel:
+
+    alpha = (K + lambda I)^-1 y,   f(x) = k(x, X_train) @ alpha
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EverestError
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
+    """exp(-gamma * ||a - b||^2) for all pairs."""
+    sq = (np.sum(A**2, axis=1)[:, None] + np.sum(B**2, axis=1)[None, :]
+          - 2.0 * A @ B.T)
+    return np.exp(-gamma * np.maximum(sq, 0.0))
+
+
+@dataclass
+class KernelRidge:
+    """RBF Kernel Ridge with standardized features."""
+
+    alpha: float = 1e-2  # ridge strength
+    gamma: float = 0.5   # RBF width
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.gamma <= 0:
+            raise EverestError("alpha and gamma must be positive")
+        self._X: Optional[np.ndarray] = None
+        self._dual: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._y_mean: float = 0.0
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelRidge":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise EverestError("X must be (n, d) matching y")
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0) + 1e-12
+        Xs = self._standardize(X)
+        self._y_mean = float(y.mean())
+        K = rbf_kernel(Xs, Xs, self.gamma)
+        K[np.diag_indices_from(K)] += self.alpha
+        self._dual = np.linalg.solve(K, y - self._y_mean)
+        self._X = Xs
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._dual is None:
+            raise EverestError("fit the model first")
+        Xs = self._standardize(np.asarray(X, dtype=np.float64))
+        return rbf_kernel(Xs, self._X, self.gamma) @ self._dual \
+            + self._y_mean

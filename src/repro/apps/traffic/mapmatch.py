@@ -1,0 +1,178 @@
+"""HMM map matching — the Fig. 4 pipeline, function for function.
+
+"(2) a Hidden Markov model for map matching of sparse and noisy FCD points
+on a road network" (§II-D).  The four stages carry exactly the names of
+the paper's ConDRust listing, so the dfg graph lowered from Fig. 4 can be
+executed with these as its node implementations:
+
+* :func:`projection` — candidate road segments per GPS fix (the stage the
+  listing offloads to FPGA);
+* :func:`build_trellis` — HMM emission/transition log-probabilities
+  (Newson–Krumm style);
+* :func:`viterbi` — the maximum-likelihood segment sequence;
+* :func:`interpolate` — per-segment speeds from the matched path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.traffic.roadnet import RoadNetwork, Trajectory
+from repro.errors import EverestError
+
+
+@dataclass
+class Candidate:
+    """One candidate segment for one GPS fix."""
+
+    segment_id: int
+    distance_m: float
+    fraction: float
+
+
+@dataclass
+class CandiVector:
+    """Fig. 4's ``CandiVector``: candidates per fix."""
+
+    per_fix: List[List[Candidate]]
+
+
+@dataclass
+class Trellis:
+    """Fig. 4's ``Trellis``: HMM log-probabilities over candidates."""
+
+    emissions: List[np.ndarray]           # [t] -> (k_t,)
+    transitions: List[np.ndarray]         # [t] -> (k_t, k_{t+1})
+
+
+@dataclass
+class RoadSpeedVector:
+    """Fig. 4's ``RoadSpeedVector``: matched segments and speeds."""
+
+    segments: List[int] = field(default_factory=list)
+    speeds_ms: List[float] = field(default_factory=list)
+
+    def mean_speed(self) -> float:
+        return float(np.mean(self.speeds_ms)) if self.speeds_ms else 0.0
+
+
+def projection(gv: Trajectory, mapcell: RoadNetwork,
+               radius_m: float = 80.0,
+               max_candidates: int = 6) -> CandiVector:
+    """Candidate segments for every fix (the offloaded kernel in Fig. 4)."""
+    per_fix: List[List[Candidate]] = []
+    for fix in gv.fixes:
+        near = mapcell.candidates_near(fix.x, fix.y, radius_m)
+        if not near:
+            near = mapcell.candidates_near(fix.x, fix.y, radius_m * 4)
+        candidates = [Candidate(sid, dist, frac)
+                      for sid, dist, frac in near[:max_candidates]]
+        if not candidates:
+            raise EverestError("a GPS fix has no candidate segments")
+        per_fix.append(candidates)
+    return CandiVector(per_fix)
+
+
+def build_trellis(gv: Trajectory, cv: CandiVector, mapcell: RoadNetwork,
+                  gps_sigma_m: float = 20.0,
+                  beta_m: float = 80.0) -> Trellis:
+    """Newson–Krumm HMM: Gaussian emissions, exponential route deviation."""
+    emissions: List[np.ndarray] = []
+    for candidates in cv.per_fix:
+        distances = np.array([c.distance_m for c in candidates])
+        emissions.append(-0.5 * (distances / gps_sigma_m)**2)
+    transitions: List[np.ndarray] = []
+    positions = gv.positions()
+    for t in range(len(cv.per_fix) - 1):
+        current = cv.per_fix[t]
+        following = cv.per_fix[t + 1]
+        gps_step = float(np.hypot(*(positions[t + 1] - positions[t])))
+        matrix = np.empty((len(current), len(following)))
+        for i, a in enumerate(current):
+            for j, b in enumerate(following):
+                if a.segment_id == b.segment_id:
+                    route = abs(b.fraction - a.fraction) \
+                        * mapcell.segment(a.segment_id).length_m
+                else:
+                    route = mapcell.route_length_m(a.segment_id,
+                                                   b.segment_id)
+                if route == float("inf"):
+                    matrix[i, j] = -1e9
+                else:
+                    matrix[i, j] = -abs(route - gps_step) / beta_m
+        transitions.append(matrix)
+    return Trellis(emissions, transitions)
+
+
+def viterbi(t: Trellis, cv: CandiVector) -> RoadSpeedVector:
+    """Maximum-likelihood candidate sequence through the trellis."""
+    n = len(t.emissions)
+    if n == 0:
+        raise EverestError("empty trellis")
+    score = t.emissions[0].copy()
+    backpointers: List[np.ndarray] = []
+    for step in range(1, n):
+        combined = score[:, None] + t.transitions[step - 1]
+        backpointers.append(np.argmax(combined, axis=0))
+        score = combined.max(axis=0) + t.emissions[step]
+    best = int(np.argmax(score))
+    path = [best]
+    for pointers in reversed(backpointers):
+        best = int(pointers[best])
+        path.append(best)
+    path.reverse()
+    return RoadSpeedVector(
+        segments=[cv.per_fix[i][k].segment_id for i, k in enumerate(path)],
+        speeds_ms=[],
+    )
+
+
+def interpolate(rsvbb: RoadSpeedVector, mapcell: RoadNetwork,
+                trajectory: Optional[Trajectory] = None) -> RoadSpeedVector:
+    """Fill per-segment speeds from the matched path.
+
+    With the trajectory available, speeds come from GPS displacement over
+    time; otherwise the segment speed limits serve as the prior.
+    """
+    speeds: List[float] = []
+    if trajectory is not None and len(trajectory.fixes) >= 2:
+        positions = trajectory.positions()
+        times = np.array([f.t_seconds for f in trajectory.fixes])
+        for i, segment_id in enumerate(rsvbb.segments):
+            j = min(i + 1, len(positions) - 1)
+            k = max(j - 1, 0)
+            dt = times[j] - times[k]
+            dist = float(np.hypot(*(positions[j] - positions[k])))
+            limit = mapcell.segment(segment_id).speed_limit_ms
+            speeds.append(min(dist / dt if dt > 0 else limit,
+                              limit * 1.3))
+    else:
+        speeds = [mapcell.segment(s).speed_limit_ms
+                  for s in rsvbb.segments]
+    return RoadSpeedVector(rsvbb.segments, speeds)
+
+
+def match_one(gv: Trajectory, mapcell: RoadNetwork) -> RoadSpeedVector:
+    """The complete Fig. 4 function, as plain Python composition."""
+    cv = projection(gv, mapcell)
+    t = build_trellis(gv, cv, mapcell)
+    rsvbb = viterbi(t, cv)
+    return interpolate(rsvbb, mapcell, gv)
+
+
+def matching_accuracy(matched: RoadSpeedVector,
+                      trajectory: Trajectory) -> float:
+    """Fraction of fixes matched to their true segment (or its reverse)."""
+    if len(matched.segments) != len(trajectory.fixes):
+        raise EverestError("match length differs from the trajectory")
+    correct = 0
+    for segment_id, fix in zip(matched.segments, trajectory.fixes):
+        # The reverse direction of the same street counts as correct: a
+        # single noisy fix cannot determine heading.
+        if segment_id == fix.true_segment or \
+                segment_id == (fix.true_segment ^ 1):
+            correct += 1
+    return correct / len(matched.segments)

@@ -1,0 +1,23 @@
+"""Dynamic autotuning: the mARGOt framework (paper §VI-C)."""
+
+from repro.autotuner.margot import (
+    Constraint,
+    Knob,
+    MargotManager,
+    Metric,
+    MetricMonitor,
+    OperatingPoint,
+    Rank,
+    knowledge_from_dse,
+)
+
+__all__ = [
+    "Constraint",
+    "Knob",
+    "MargotManager",
+    "Metric",
+    "MetricMonitor",
+    "OperatingPoint",
+    "Rank",
+    "knowledge_from_dse",
+]

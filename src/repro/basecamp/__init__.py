@@ -1,0 +1,9 @@
+"""basecamp — the single point of access to the EVEREST SDK (paper §IV).
+
+"All tools within the SDK are wrapped under the ``basecamp`` command,
+which provides a single point of access to the users of the SDK."
+"""
+
+from repro.basecamp.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,205 @@
+"""The ``basecamp`` command-line interface.
+
+Subcommands mirror the SDK's phases (paper §IV):
+
+* ``basecamp compile <kernel.ekl>`` — frontend → MLIR → loops → HLS report;
+* ``basecamp synthesize <kernel.ekl> --format fixed<8.8>`` — HLS with a
+  custom data format;
+* ``basecamp olympus <kernel.ekl> --device alveo-u55c`` — system-level
+  architecture generation with DSE;
+* ``basecamp dialects`` — the registered dialect graph (Fig. 5);
+* ``basecamp condrust <program.rs>`` — parse/check/lower a coordination
+  program;
+* ``basecamp detect <data.csv>`` — AutoML anomaly detection to JSON;
+* ``basecamp info`` — platform catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.errors import EverestError
+
+
+def _compile_to_affine(source_path: str):
+    from repro.frontends.ekl import parse_kernel
+    from repro.frontends.ekl.lower import (
+        lower_ekl_to_esn,
+        lower_kernel_to_ekl,
+    )
+    from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+
+    with open(source_path) as handle:
+        kernel = parse_kernel(handle.read())
+    module = lower_teil_to_affine(
+        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
+    )
+    return kernel, module
+
+
+def cmd_compile(args) -> int:
+    from repro.ir import print_module, verify
+
+    kernel, module = _compile_to_affine(args.source)
+    verify(module)
+    if args.emit == "mlir":
+        print(print_module(module))
+    else:
+        from repro.hls import synthesize_kernel
+
+        report = synthesize_kernel(module, kernel.name)
+        print(report.summary())
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    from repro.hls import synthesize_kernel
+    from repro.numerics import make_format
+
+    kernel, module = _compile_to_affine(args.source)
+    fmt = make_format(args.format) if args.format else None
+    report = synthesize_kernel(module, kernel.name, number_format=fmt)
+    print(report.summary())
+    return 0
+
+
+def cmd_olympus(args) -> int:
+    from repro.hls import synthesize_kernel
+    from repro.olympus import OlympusGenerator
+    from repro.platforms import device_by_name
+
+    kernel, module = _compile_to_affine(args.source)
+    report = synthesize_kernel(module, kernel.name)
+    generator = OlympusGenerator(device_by_name(args.device))
+    print(f"design space for {kernel.name} on {args.device}:")
+    for config, latency, resources in generator.explore(report):
+        print(f"  {config.label():18s} latency={latency.total * 1e6:10.2f}us"
+              f"  LUT={resources.lut:8d} DSP={resources.dsp:6d}"
+              f" BRAM={resources.bram:5d}")
+    best = generator.best_config(report)
+    print(f"selected: {best.label()}")
+    return 0
+
+
+def cmd_dialects(args) -> int:
+    from repro.dialects import DIALECT_GRAPH, registered_edges
+    from repro.ir import REGISTRY
+
+    print("registered dialects:", ", ".join(REGISTRY.names()))
+    implemented = set(registered_edges())
+    print("lowering edges (Fig. 5):")
+    for source, target in DIALECT_GRAPH:
+        marker = "ok" if (source, target) in implemented else "--"
+        print(f"  [{marker}] {source} -> {target}")
+    return 0
+
+
+def cmd_condrust(args) -> int:
+    from repro.frontends.condrust import lower_program_to_dfg, parse_program
+    from repro.ir import print_module, verify
+
+    with open(args.source) as handle:
+        program = parse_program(handle.read())
+    module = lower_program_to_dfg(program)
+    verify(module)
+    print(print_module(module))
+    return 0
+
+
+def cmd_detect(args) -> int:
+    import numpy as np
+
+    from repro.anomaly import DetectionNode, ModelSelectionNode, load_data
+
+    data = load_data(args.data)
+    split = max(8, int(len(data) * 0.6))
+    selection = ModelSelectionNode(seed=0).run(
+        data[:split], data[split:], n_trials=args.trials
+    )
+    node = DetectionNode(selection)
+    report = node.detect(data, output_path=args.output)
+    print(f"detector: {report.detector}; "
+          f"{len(report.anomalies)}/{report.n_samples} anomalous")
+    if args.output:
+        print(f"wrote {args.output}")
+    else:
+        print(report.to_json())
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.platforms import CATALOG
+
+    print("EVEREST target platforms:")
+    for name, factory in sorted(CATALOG.items()):
+        device = factory()
+        attach = "network" if device.is_network_attached else "PCIe"
+        memory = device.default_memory()
+        print(f"  {name:18s} {attach:8s} LUT={device.resources.lut:>9}"
+              f" DSP={device.resources.dsp:>5} {memory.kind.upper()}"
+              f" {memory.bandwidth_gbps:.0f} GB/s @ {device.clock_mhz:.0f} MHz")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="basecamp",
+        description="Single point of access to the EVEREST SDK "
+                    "(DATE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile an EKL kernel")
+    p.add_argument("source")
+    p.add_argument("--emit", choices=["report", "mlir"], default="report")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("synthesize", help="HLS with a custom data format")
+    p.add_argument("source")
+    p.add_argument("--format", default=None,
+                   help="f32 | bf16 | fixed<i.f> | posit<n,es>")
+    p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser("olympus", help="system-level architecture DSE")
+    p.add_argument("source")
+    p.add_argument("--device", default="alveo-u55c")
+    p.set_defaults(fn=cmd_olympus)
+
+    p = sub.add_parser("dialects", help="the Fig. 5 dialect graph")
+    p.set_defaults(fn=cmd_dialects)
+
+    p = sub.add_parser("condrust", help="lower a coordination program")
+    p.add_argument("source")
+    p.set_defaults(fn=cmd_condrust)
+
+    p = sub.add_parser("detect", help="AutoML anomaly detection")
+    p.add_argument("data")
+    p.add_argument("--output", default=None)
+    p.add_argument("--trials", type=int, default=20)
+    p.set_defaults(fn=cmd_detect)
+
+    p = sub.add_parser("info", help="platform catalog")
+    p.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except EverestError as error:
+        print(f"basecamp: error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"basecamp: error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (e.g. `basecamp ... | head`).
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Core dialects: ``builtin``, ``func``, ``arith``, ``math``, ``tensor``,
+``memref``/``buffer``, ``affine``, ``scf`` and ``linalg``.
+
+These play the role of MLIR's upstream ("green" in the paper's Fig. 5)
+dialects that the EVEREST dialects lower into.  Only the subset the SDK
+actually exercises is defined; each op registration gives the verifier
+enough structure to be useful.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Operation
+from repro.ir.dialect import VARIADIC, register_dialect
+from repro.ir.types import FunctionType, MemRefType, TensorType
+
+
+def _verify_binary_same_type(op: Operation) -> None:
+    lhs, rhs = op.operands
+    if lhs.type != rhs.type:
+        raise IRError(f"{op.name}: operand types differ ({lhs.type} vs {rhs.type})")
+    if op.results and op.results[0].type != lhs.type:
+        raise IRError(f"{op.name}: result type differs from operand type")
+
+
+def _verify_func(op: Operation) -> None:
+    ftype = op.attr("function_type")
+    if not isinstance(ftype, FunctionType):
+        raise IRError(f"{op.name}: function_type attribute must be a FunctionType")
+    entry = op.regions[0].entry
+    arg_types = tuple(a.type for a in entry.args)
+    if arg_types != ftype.inputs:
+        raise IRError(
+            f"{op.name} @{op.attr('sym_name')}: entry block args {arg_types} "
+            f"do not match signature {ftype.inputs}"
+        )
+
+
+def _verify_load(op: Operation) -> None:
+    ref = op.operands[0].type
+    if not isinstance(ref, MemRefType):
+        raise IRError(f"{op.name}: first operand must be a memref, got {ref}")
+    if len(op.operands) - 1 != ref.rank:
+        raise IRError(
+            f"{op.name}: {len(op.operands) - 1} indices for rank-{ref.rank} memref"
+        )
+
+
+def _verify_store(op: Operation) -> None:
+    ref = op.operands[1].type
+    if not isinstance(ref, MemRefType):
+        raise IRError(f"{op.name}: second operand must be a memref, got {ref}")
+    if len(op.operands) - 2 != ref.rank:
+        raise IRError(
+            f"{op.name}: {len(op.operands) - 2} indices for rank-{ref.rank} memref"
+        )
+
+
+def register() -> None:
+    """Register all core dialects into the global registry (idempotent)."""
+    builtin = register_dialect("builtin", "top-level containers")
+    if "module" not in builtin:
+        builtin.op("module", "top-level container", num_operands=0,
+                   num_results=0, num_regions=1)
+
+    func = register_dialect("func", "functions, calls and returns")
+    if "func" not in func:
+        func.op(
+            "func",
+            "a function definition",
+            num_operands=0,
+            num_results=0,
+            num_regions=1,
+            required_attrs={"sym_name": "function name",
+                            "function_type": "signature"},
+            traits=("symbol", "isolated"),
+            verify=_verify_func,
+        )
+        func.op("return", "function terminator", num_regions=0,
+                num_results=0, traits=("terminator",))
+        func.op("call", "direct call", num_regions=0,
+                required_attrs={"callee": "symbol of the called function"})
+
+    arith = register_dialect("arith", "scalar arithmetic")
+    if "constant" not in arith:
+        arith.op("constant", "literal constant", num_operands=0, num_results=1,
+                 required_attrs={"value": "the constant"}, traits=("pure",))
+        for name in ("addf", "subf", "mulf", "divf", "maximumf", "minimumf",
+                     "remf", "powf"):
+            arith.op(name, f"float {name}", num_operands=2, num_results=1,
+                     traits=("pure",), verify=_verify_binary_same_type)
+        for name in ("addi", "subi", "muli", "divsi", "remsi", "andi", "ori",
+                     "xori", "shli", "shrsi", "maxsi", "minsi"):
+            arith.op(name, f"integer {name}", num_operands=2, num_results=1,
+                     traits=("pure",), verify=_verify_binary_same_type)
+        arith.op("negf", "float negation", num_operands=1, num_results=1,
+                 traits=("pure",))
+        arith.op("cmpf", "float comparison", num_operands=2, num_results=1,
+                 required_attrs={"predicate": "lt/le/gt/ge/eq/ne"},
+                 traits=("pure",))
+        arith.op("cmpi", "integer comparison", num_operands=2, num_results=1,
+                 required_attrs={"predicate": "lt/le/gt/ge/eq/ne"},
+                 traits=("pure",))
+        arith.op("select", "ternary select", num_operands=3, num_results=1,
+                 traits=("pure",))
+        arith.op("index_cast", "index <-> integer cast", num_operands=1,
+                 num_results=1, traits=("pure",))
+        arith.op("sitofp", "signed int to float", num_operands=1,
+                 num_results=1, traits=("pure",))
+        arith.op("fptosi", "float to signed int", num_operands=1,
+                 num_results=1, traits=("pure",))
+        arith.op("truncf", "float precision truncation", num_operands=1,
+                 num_results=1, traits=("pure",))
+        arith.op("extf", "float precision extension", num_operands=1,
+                 num_results=1, traits=("pure",))
+
+    math = register_dialect("math", "transcendental functions")
+    if "exp" not in math:
+        for name in ("exp", "log", "sqrt", "sin", "cos", "tanh", "atan2",
+                     "erf", "abs"):
+            arity = 2 if name == "atan2" else 1
+            math.op(name, f"math.{name}", num_operands=arity, num_results=1,
+                    traits=("pure",))
+
+    tensor = register_dialect("tensor", "immutable tensor values")
+    if "empty" not in tensor:
+        tensor.op("empty", "uninitialized tensor", num_operands=0,
+                  num_results=1, traits=("pure",))
+        tensor.op("extract", "read one element", num_results=1,
+                  traits=("pure",))
+        tensor.op("insert", "write one element (value-semantics)",
+                  num_results=1, traits=("pure",))
+        tensor.op("dim", "extent of one dimension", num_operands=1,
+                  num_results=1, required_attrs={"index": "dimension index"},
+                  traits=("pure",))
+        tensor.op("cast", "element-type cast", num_operands=1, num_results=1,
+                  traits=("pure",))
+
+    memref = register_dialect("memref", "mutable buffers")
+    if "alloc" not in memref:
+        memref.op("alloc", "allocate a buffer", num_operands=0, num_results=1)
+        memref.op("dealloc", "free a buffer", num_operands=1, num_results=0)
+        memref.op("load", "read an element", num_results=1,
+                  verify=_verify_load)
+        memref.op("store", "write an element", num_results=0,
+                  verify=_verify_store)
+        memref.op("copy", "bulk copy", num_operands=2, num_results=0)
+
+    # The paper's Fig. 5 names this dialect "buffer"; it models staged
+    # transfers between host, device global memory and on-chip PLM.
+    buffer = register_dialect("buffer", "staged buffers across memory spaces")
+    if "stage" not in buffer:
+        buffer.op("stage", "stage a buffer into another memory space",
+                  num_operands=1, num_results=1,
+                  required_attrs={"space": "target memory space"})
+        buffer.op("release", "release a staged buffer", num_operands=1,
+                  num_results=0)
+
+    affine = register_dialect("affine", "counted loop nests")
+    if "for" not in affine:
+        affine.op(
+            "for",
+            "counted loop: constant bounds in attributes, IV as block arg",
+            num_operands=0,
+            num_results=0,
+            num_regions=1,
+            required_attrs={"lower": "inclusive lower bound",
+                            "upper": "exclusive upper bound",
+                            "step": "stride"},
+        )
+        affine.op("yield", "loop terminator", num_operands=VARIADIC,
+                  num_results=0, traits=("terminator",))
+        affine.op("apply", "affine index expression", num_results=1,
+                  required_attrs={"expr": "textual affine expression"},
+                  traits=("pure",))
+
+    scf = register_dialect("scf", "structured control flow")
+    if "if" not in scf:
+        scf.op("if", "two-armed conditional", num_operands=1,
+               num_regions=2)
+        scf.op("yield", "region terminator", num_results=0,
+               traits=("terminator",))
+        scf.op("while", "general loop", num_regions=2)
+
+    linalg = register_dialect("linalg", "structured linear algebra")
+    if "matmul" not in linalg:
+        linalg.op("matmul", "C += A @ B", num_operands=3, num_results=VARIADIC)
+        linalg.op("generic", "generic structured op", num_regions=1,
+                  required_attrs={"iterator_types": "parallel/reduction list",
+                                  "indexing_maps": "per-operand index maps"})
+        linalg.op("fill", "broadcast a scalar into a tensor", num_operands=2,
+                  num_results=VARIADIC)
+
+    gpu = register_dialect("gpu", "external GPU backend (declared only)")
+    if "launch" not in gpu:
+        gpu.op("launch", "kernel launch placeholder", num_regions=1)
+
+
+register()

@@ -1,0 +1,150 @@
+"""System-side dialects: ``dfg``, ``olympus``, ``evp``, ``base2``, ``fsm``,
+``hw``.
+
+* ``dfg`` — deterministic dataflow graphs produced from ConDRust programs:
+  a graph op whose region holds ``dfg.node`` calls wired by SSA values.
+* ``olympus`` — system-level FPGA architecture description: kernel
+  instances, private local memories (PLMs), DMA engines and stream
+  connections, annotated with the optimizations Olympus applied.
+* ``evp`` — EVEREST platform integration: deployment, transfers and kernel
+  launches against a concrete node/bitstream.
+* ``base2`` — arithmetic on custom binary numeral types (fixed point,
+  posit) plus casts; the IR face of :mod:`repro.numerics`.
+* ``fsm`` — finite-state machines emitted by the HLS engine's controller
+  generation.
+* ``hw`` — structural hardware: modules, instances, registers and wires
+  (the RTL-like bottom of the flow).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Operation
+from repro.ir.dialect import VARIADIC, register_dialect
+from repro.ir.types import FixedPointType, PositType
+
+
+def _verify_base2_arith(op: Operation) -> None:
+    for operand in op.operands:
+        if not isinstance(operand.type, (FixedPointType, PositType)):
+            raise IRError(
+                f"{op.name}: operands must have base2 types, got {operand.type}"
+            )
+
+
+def register() -> None:
+    """Register the system-side dialects (idempotent)."""
+    dfg = register_dialect("dfg", "deterministic dataflow graphs (ConDRust)")
+    if "graph" not in dfg:
+        dfg.op("graph", "a dataflow graph; block args are graph inputs",
+               num_operands=0, num_results=0, num_regions=1,
+               required_attrs={"sym_name": "graph name"},
+               traits=("symbol",))
+        dfg.op("node", "one dataflow node (a function application)",
+               num_results=VARIADIC,
+               required_attrs={"callee": "implementation symbol"})
+        dfg.op("output", "graph outputs", num_results=0,
+               traits=("terminator",))
+        dfg.op("channel", "explicit FIFO channel with capacity",
+               num_operands=1, num_results=1,
+               required_attrs={"depth": "FIFO depth"})
+        dfg.op("loop", "stateful streaming loop", num_regions=1)
+
+    olympus = register_dialect("olympus", "system-level FPGA architecture")
+    if "system" not in olympus:
+        olympus.op("system", "a generated FPGA system architecture",
+                   num_operands=0, num_results=0, num_regions=1,
+                   required_attrs={"sym_name": "system name",
+                                   "platform": "target platform name"},
+                   traits=("symbol",))
+        olympus.op("kernel", "an instantiated accelerator kernel",
+                   num_results=1,
+                   required_attrs={"callee": "kernel symbol",
+                                   "replicas": "replication factor"})
+        olympus.op("plm", "private local memory buffer", num_operands=0,
+                   num_results=1,
+                   required_attrs={"bytes": "capacity",
+                                   "banks": "bank count",
+                                   "double_buffered": "ping-pong flag"})
+        olympus.op("dma", "DMA engine between memories", num_operands=2,
+                   num_results=0,
+                   required_attrs={"lanes": "bus lanes used"})
+        olympus.op("stream", "on-chip stream connection", num_operands=2,
+                   num_results=0)
+        olympus.op("pack", "data packing/layout transformation",
+                   num_operands=1, num_results=1,
+                   required_attrs={"layout": "packed layout descriptor"})
+
+    evp = register_dialect("evp", "EVEREST platform deployment")
+    if "deploy" not in evp:
+        evp.op("deploy", "program a bitstream onto a node's FPGA",
+               num_operands=0, num_results=1,
+               required_attrs={"node": "cluster node", "system": "system symbol"})
+        evp.op("transfer", "host<->device data transfer", num_operands=2,
+               num_results=0, required_attrs={"direction": "h2d/d2h"})
+        evp.op("launch", "launch a deployed kernel", num_results=VARIADIC,
+               required_attrs={"kernel": "kernel instance name"})
+        evp.op("barrier", "wait for completion", num_results=0)
+
+    base2 = register_dialect("base2", "custom binary numeral formats")
+    if "cast" not in base2:
+        base2.op("cast", "convert between numeral formats", num_operands=1,
+                 num_results=1, traits=("pure",))
+        for name in ("add", "sub", "mul", "div"):
+            base2.op(name, f"{name} on custom formats", num_operands=2,
+                     num_results=1, traits=("pure",),
+                     verify=_verify_base2_arith)
+        base2.op("constant", "custom-format literal", num_operands=0,
+                 num_results=1, required_attrs={"value": "real value"},
+                 traits=("pure",))
+
+    # ``cyclic``, ``bit`` and ``ub`` from Fig. 5 are support dialects for
+    # base2; we register them with their carrier ops so the dialect graph
+    # matches the figure.
+    cyclic = register_dialect("cyclic", "modular/wrapping integer semantics")
+    if "wrap" not in cyclic:
+        cyclic.op("wrap", "wrap a value into a modulus", num_operands=1,
+                  num_results=1, required_attrs={"modulus": "the modulus"},
+                  traits=("pure",))
+    bit = register_dialect("bit", "raw bit manipulation")
+    if "extract" not in bit:
+        bit.op("extract", "extract a bit range", num_operands=1, num_results=1,
+               required_attrs={"lo": "low bit", "hi": "high bit"},
+               traits=("pure",))
+        bit.op("concat", "concatenate bit vectors", num_results=1,
+               traits=("pure",))
+    ub = register_dialect("ub", "undefined behaviour markers")
+    if "poison" not in ub:
+        ub.op("poison", "a poison value", num_operands=0, num_results=1,
+              traits=("pure",))
+
+    fsm = register_dialect("fsm", "finite state machines (HLS controllers)")
+    if "machine" not in fsm:
+        fsm.op("machine", "an FSM; states carried as attributes",
+               num_operands=0, num_results=0,
+               required_attrs={"sym_name": "machine name",
+                               "states": "state list",
+                               "initial": "initial state"},
+               traits=("symbol",))
+
+    hw = register_dialect("hw", "structural hardware (RTL-like)")
+    if "module" not in hw:
+        hw.op("module", "a hardware module definition", num_operands=0,
+              num_results=0, num_regions=1,
+              required_attrs={"sym_name": "module name",
+                              "ports": "port list"},
+              traits=("symbol",))
+        hw.op("instance", "instantiate a module", num_results=VARIADIC,
+              required_attrs={"module": "module symbol",
+                              "instance_name": "instance name"})
+        hw.op("wire", "a named wire", num_operands=1, num_results=1,
+              required_attrs={"name": "wire name"})
+        hw.op("reg", "a clocked register", num_operands=1, num_results=1,
+              required_attrs={"name": "register name"})
+        hw.op("output", "module outputs", num_results=0,
+              traits=("terminator",))
+        hw.op("constant", "hardware constant", num_operands=0, num_results=1,
+              required_attrs={"value": "bits"}, traits=("pure",))
+
+
+register()

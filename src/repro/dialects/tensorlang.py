@@ -1,0 +1,184 @@
+"""EVEREST tensor-language dialects: ``ekl``, ``esn``, ``teil``, ``cfdlang``.
+
+These four dialects carry the kernel-language pipeline of the paper's Fig. 5:
+
+* ``ekl`` — operations produced directly from EVEREST Kernel Language
+  programs.  Values are *labelled tensors*: each op carries an ``axes``
+  attribute naming the Einstein indices of its result's dimensions.
+* ``esn`` — the Einstein-notation dialect: explicit ``einsum`` contractions,
+  gathers (subscripted subscripts), selects and index stacking.
+* ``teil`` — the Tensor Intermediate Language (TeIL): shape-typed tensor
+  ops with no index names left; the hand-off point to loop generation.
+* ``cfdlang`` — the legacy CFDlang frontend dialect (tensor assignments of
+  product/contraction expressions).
+
+All four share the convention that tensor values use
+:class:`repro.ir.types.TensorType`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Operation
+from repro.ir.dialect import VARIADIC, register_dialect
+from repro.ir.types import TensorType
+
+
+def _verify_axes(op: Operation) -> None:
+    axes = op.attr("axes")
+    if axes is None:
+        return
+    result_type = op.results[0].type
+    if isinstance(result_type, TensorType) and len(axes) != result_type.rank:
+        raise IRError(
+            f"{op.name}: {len(axes)} axis labels for rank-{result_type.rank} result"
+        )
+
+
+def _verify_einsum(op: Operation) -> None:
+    spec = op.attr("spec")
+    if not isinstance(spec, str) or "->" not in spec:
+        raise IRError(f"{op.name}: spec must look like 'ab,bc->ac'")
+    inputs = spec.split("->")[0].split(",")
+    if len(inputs) != len(op.operands):
+        raise IRError(
+            f"{op.name}: spec has {len(inputs)} inputs but op has "
+            f"{len(op.operands)} operands"
+        )
+
+
+def register() -> None:
+    """Register the tensor-language dialects (idempotent)."""
+    ekl = register_dialect("ekl", "EVEREST Kernel Language ops")
+    if "kernel" not in ekl:
+        ekl.op("kernel", "an EKL kernel body", num_operands=0, num_results=0,
+               num_regions=1,
+               required_attrs={"sym_name": "kernel name",
+                               "index_space": "index name -> extent"},
+               traits=("symbol",))
+        ekl.op("arg", "bind a kernel argument tensor", num_operands=0,
+               num_results=1, required_attrs={"name": "argument name"},
+               traits=("pure",), verify=_verify_axes)
+        ekl.op("literal", "scalar literal broadcast over axes",
+               num_operands=0, num_results=1,
+               required_attrs={"value": "the literal"}, traits=("pure",))
+        ekl.op("index", "the value of an Einstein index", num_operands=0,
+               num_results=1, required_attrs={"name": "index name"},
+               traits=("pure",))
+        for name in ("add", "sub", "mul", "div", "min", "max"):
+            ekl.op(name, f"elementwise {name} with broadcasting",
+                   num_operands=2, num_results=1, traits=("pure",),
+                   verify=_verify_axes)
+        for name in ("cmp_le", "cmp_lt", "cmp_ge", "cmp_gt", "cmp_eq"):
+            ekl.op(name, "elementwise comparison", num_operands=2,
+                   num_results=1, traits=("pure",), verify=_verify_axes)
+        ekl.op("select", "elementwise ternary select", num_operands=3,
+               num_results=1, traits=("pure",), verify=_verify_axes)
+        ekl.op("subscript", "index a tensor with index expressions",
+               num_results=1, traits=("pure",), verify=_verify_axes)
+        ekl.op("stack", "in-place construction: stack along a new axis",
+               num_results=1, traits=("pure",), verify=_verify_axes)
+        ekl.op("sum", "Einstein summation over named indices",
+               num_operands=1, num_results=1,
+               required_attrs={"over": "reduced index names"},
+               traits=("pure",), verify=_verify_axes)
+        ekl.op("call", "scalar intrinsic applied elementwise",
+               num_results=1, required_attrs={"fn": "intrinsic name"},
+               traits=("pure",), verify=_verify_axes)
+        ekl.op("yield", "kernel result binding", num_results=0,
+               required_attrs={"names": "output names"},
+               traits=("terminator",))
+
+    esn = register_dialect("esn", "Einstein notation dialect")
+    if "einsum" not in esn:
+        esn.op("einsum", "generalized tensor contraction", num_results=1,
+               required_attrs={"spec": "einsum spec, e.g. 'ab,bc->ac'"},
+               traits=("pure",), verify=_verify_einsum)
+        esn.op("gather", "indirect indexing (subscripted subscripts)",
+               num_results=1,
+               required_attrs={"spec": "gather axis spec"},
+               traits=("pure",))
+        esn.op("select", "elementwise select", num_operands=3, num_results=1,
+               traits=("pure",))
+        esn.op("map", "elementwise scalar function over operands",
+               num_results=1, required_attrs={"fn": "scalar op name"},
+               traits=("pure",))
+        esn.op("stack", "stack tensors along a new trailing axis",
+               num_results=1, traits=("pure",))
+        esn.op("iota", "index values along an axis", num_operands=0,
+               num_results=1, required_attrs={"extent": "axis length"},
+               traits=("pure",))
+        esn.op("broadcast", "insert broadcast axes", num_operands=1,
+               num_results=1, traits=("pure",))
+        esn.op("reduce", "sum over named axes", num_operands=1,
+               num_results=1, required_attrs={"axes": "axis positions"},
+               traits=("pure",))
+
+    teil = register_dialect("teil", "Tensor Intermediate Language")
+    if "contract" not in teil:
+        teil.op("contract", "pairwise tensor contraction", num_operands=2,
+                num_results=1,
+                required_attrs={"lhs_axes": "contraction axes of lhs",
+                                "rhs_axes": "contraction axes of rhs"},
+                traits=("pure",))
+        teil.op("reduce", "reduction over trailing axes", num_operands=1,
+                num_results=1,
+                required_attrs={"axes": "axes to reduce", "kind": "add/mul/max"},
+                traits=("pure",))
+        teil.op("map", "elementwise op", num_results=1,
+                required_attrs={"fn": "scalar op name"}, traits=("pure",))
+        teil.op("gather", "gather with integer index tensors", num_results=1,
+                traits=("pure",))
+        teil.op("stack", "stack along new trailing axis", num_results=1,
+                traits=("pure",))
+        teil.op("transpose", "permute axes", num_operands=1, num_results=1,
+                required_attrs={"perm": "axis permutation"}, traits=("pure",))
+        teil.op("reshape", "reshape", num_operands=1, num_results=1,
+                traits=("pure",))
+        teil.op("broadcast", "broadcast to shape", num_operands=1,
+                num_results=1, traits=("pure",))
+        teil.op("constant", "tensor literal", num_operands=0, num_results=1,
+                required_attrs={"value": "dense data"}, traits=("pure",))
+        teil.op("iota", "0..n-1 vector", num_operands=0, num_results=1,
+                traits=("pure",))
+        teil.op("select", "elementwise select", num_operands=3, num_results=1,
+                traits=("pure",))
+
+    cfdlang = register_dialect("cfdlang", "legacy CFDlang frontend dialect")
+    if "program" not in cfdlang:
+        cfdlang.op("program", "a CFDlang program", num_operands=0,
+                   num_results=0, num_regions=1,
+                   required_attrs={"sym_name": "program name"},
+                   traits=("symbol",))
+        cfdlang.op("decl", "tensor variable declaration", num_operands=0,
+                   num_results=1,
+                   required_attrs={"name": "variable", "io": "in/out/var"},
+                   traits=("pure",))
+        cfdlang.op("product", "outer product", num_operands=2, num_results=1,
+                   traits=("pure",))
+        cfdlang.op("contract", "contraction over paired dims", num_operands=1,
+                   num_results=1,
+                   required_attrs={"pairs": "dimension pairs"},
+                   traits=("pure",))
+        for name in ("add", "sub", "mul", "div"):
+            cfdlang.op(name, f"elementwise {name}", num_operands=2,
+                       num_results=1, traits=("pure",))
+        cfdlang.op("assign", "bind expression to output", num_operands=1,
+                   num_results=0, required_attrs={"name": "output name"})
+
+    jabbah = register_dialect(
+        "jabbah", "operation-set-architecture graphs for ML models"
+    )
+    if "model" not in jabbah:
+        jabbah.op("model", "an ML model graph", num_operands=0, num_results=0,
+                  num_regions=1, required_attrs={"sym_name": "model name"},
+                  traits=("symbol",))
+        jabbah.op("op", "one OSA operation", num_results=VARIADIC,
+                  required_attrs={"osa": "operation-set op name"})
+        jabbah.op("weights", "model parameters", num_operands=0, num_results=1,
+                  traits=("pure",))
+        jabbah.op("output", "model outputs", num_results=0,
+                  traits=("terminator",))
+
+
+register()

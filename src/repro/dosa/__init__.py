@@ -1,0 +1,25 @@
+"""DOSA: organic compilation for DNN inference on distributed FPGAs.
+
+The paper's system-generation tool for *network-attached* FPGAs (§V-C,
+Ringlein et al., EDGE 2023): a DNN expressed at the Operation Set
+Architecture level is partitioned across cloudFPGA nodes, and ZRLMPI
+communication routines are inserted between partitions.
+"""
+
+from repro.dosa.osa import OperationSet, OSA_CLOUDFPGA, coverage
+from repro.dosa.partition import (
+    Partition,
+    PartitionPlan,
+    partition_model,
+    simulate_pipeline,
+)
+
+__all__ = [
+    "OperationSet",
+    "OSA_CLOUDFPGA",
+    "coverage",
+    "Partition",
+    "PartitionPlan",
+    "partition_model",
+    "simulate_pipeline",
+]

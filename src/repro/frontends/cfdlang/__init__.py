@@ -1,0 +1,33 @@
+"""CFDlang: the legacy tensor DSL for high-order fluid-dynamics methods.
+
+The paper lists CFDlang (Rink et al., RWDSL 2018) among the DSLs the SDK
+"leverages for physics simulations"; its dialect lowers to TeIL just like
+EKL.  The subset implemented here covers the published language core:
+
+* declarations: ``var input u : [m n]`` / ``var output v : [m]`` /
+  ``var t : [m n]`` (dimensions are extents; scalars use ``[]``);
+* assignments ``v = expr``;
+* elementwise ``+ - * /``, outer product ``#``, and contraction
+  ``expr . [[i j] [k l]]`` over 1-based dimension pairs.
+
+Example (a matrix-vector product)::
+
+    var input A : [4 5]
+    var input x : [5]
+    var output y : [4]
+    y = (A # x) . [[2 3]]
+"""
+
+from repro.frontends.cfdlang.parser import parse_program
+from repro.frontends.cfdlang.interp import run_program
+from repro.frontends.cfdlang.lower import (
+    lower_program_to_cfdlang,
+    lower_cfdlang_to_teil,
+)
+
+__all__ = [
+    "parse_program",
+    "run_program",
+    "lower_program_to_cfdlang",
+    "lower_cfdlang_to_teil",
+]

@@ -1,0 +1,103 @@
+"""AST for the ConDRust subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class VarRef(Node):
+    name: str
+
+
+@dataclass
+class IntLit(Node):
+    value: int
+
+
+@dataclass
+class FloatLit(Node):
+    value: float
+
+
+@dataclass
+class BoolLit(Node):
+    value: bool
+
+
+@dataclass
+class StrLit(Node):
+    value: str
+
+
+@dataclass
+class ArrayLit(Node):
+    elements: List["Expr"]
+
+
+@dataclass
+class Call(Node):
+    callee: str
+    args: List["Expr"]
+
+
+@dataclass
+class TupleExpr(Node):
+    elements: List["Expr"]
+
+
+Expr = Union[VarRef, IntLit, FloatLit, BoolLit, StrLit, ArrayLit, Call,
+             TupleExpr]
+
+
+@dataclass
+class KernelAttr(Node):
+    """A ``#[kernel(...)]`` attribute: deployment metadata for one call."""
+
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def offloaded(self) -> bool:
+        return bool(self.params.get("offloaded", False))
+
+
+@dataclass
+class LetStmt(Node):
+    name: str
+    type_name: Optional[str]
+    value: Expr
+    mutable: bool = False
+    attr: Optional[KernelAttr] = None
+
+
+@dataclass
+class Param(Node):
+    name: str
+    type_name: str
+
+
+@dataclass
+class Function(Node):
+    name: str
+    params: List[Param] = field(default_factory=list)
+    return_type: Optional[str] = None
+    body: List[LetStmt] = field(default_factory=list)
+    tail: Optional[Expr] = None
+
+
+@dataclass
+class Program(Node):
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,116 @@
+"""Deterministic execution of ``dfg`` graphs.
+
+The executor walks a lowered ConDRust graph in topological (source) order,
+calling a registered Python implementation for every ``dfg.node``.  Nodes
+marked ``offloaded = true`` are routed through an *offload handler* — by
+default a pass-through, in the full SDK the virtualized FPGA runtime
+(:mod:`repro.runtime`).  The executor also records the schedule *waves*
+(sets of nodes whose inputs were already available), which is the
+parallelism ConDRust exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import RuntimeSchedulingError
+from repro.ir import Module, Operation, Value
+
+
+@dataclass
+class NodeRecord:
+    """Execution record of one dataflow node."""
+
+    callee: str
+    binding: str
+    offloaded: bool
+    wave: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class DataflowExecutor:
+    """Executes dfg graphs against a registry of node implementations."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.registry: Dict[str, Callable] = {}
+        self.offload_handler: Optional[Callable] = None
+        self.trace: List[NodeRecord] = []
+
+    def register(self, name: str, fn: Callable) -> "DataflowExecutor":
+        """Register the implementation of a node callee."""
+        self.registry[name] = fn
+        return self
+
+    def register_all(self, impls: Dict[str, Callable]) -> "DataflowExecutor":
+        self.registry.update(impls)
+        return self
+
+    def set_offload_handler(self, handler: Callable) -> None:
+        """``handler(callee, fn, args, attrs)`` runs offloaded nodes."""
+        self.offload_handler = handler
+
+    def run(self, graph_name: str, *args):
+        """Execute one graph with positional arguments; returns its output."""
+        graph = self.module.lookup(graph_name)
+        if graph.name != "dfg.graph":
+            raise RuntimeSchedulingError(f"{graph_name} is not a dfg.graph")
+        entry = graph.regions[0].entry
+        if len(args) != len(entry.args):
+            raise RuntimeSchedulingError(
+                f"{graph_name} expects {len(entry.args)} arguments, "
+                f"got {len(args)}"
+            )
+        env: Dict[Value, object] = dict(zip(entry.args, args))
+        ready_at: Dict[Value, int] = {arg: 0 for arg in entry.args}
+        self.trace = []
+        result = None
+        for op in entry.operations:
+            if op.name == "arith.constant":
+                env[op.results[0]] = op.attr("value")
+                ready_at[op.results[0]] = 0
+            elif op.name == "dfg.node":
+                result_value = self._run_node(op, env, ready_at)
+                env[op.results[0]] = result_value
+            elif op.name == "dfg.output":
+                result = env[op.operands[0]]
+            else:
+                raise RuntimeSchedulingError(
+                    f"unexpected op in dfg graph: {op.name}"
+                )
+        return result
+
+    def _run_node(self, op: Operation, env: Dict[Value, object],
+                  ready_at: Dict[Value, int]):
+        callee = op.attr("callee")
+        if callee not in self.registry:
+            raise RuntimeSchedulingError(
+                f"no implementation registered for node {callee!r}"
+            )
+        fn = self.registry[callee]
+        arg_values = [env[operand] for operand in op.operands]
+        wave = 1 + max((ready_at[o] for o in op.operands), default=0)
+        offloaded = bool(op.attr("offloaded", False))
+        attrs = {k: op.attr(k) for k in ("multiplicity", "path", "binding")
+                 if k in op.attributes}
+        self.trace.append(
+            NodeRecord(callee, op.attr("binding") or "", offloaded, wave,
+                       attrs)
+        )
+        if offloaded and self.offload_handler is not None:
+            result = self.offload_handler(callee, fn, arg_values, attrs)
+        else:
+            result = fn(*arg_values)
+        ready_at[op.results[0]] = wave
+        return result
+
+    def waves(self) -> List[List[str]]:
+        """Nodes grouped by schedule wave (the exposed parallelism)."""
+        if not self.trace:
+            return []
+        depth = max(record.wave for record in self.trace)
+        grouped: List[List[str]] = [[] for _ in range(depth)]
+        for record in self.trace:
+            grouped[record.wave - 1].append(record.callee)
+        return grouped

@@ -1,0 +1,106 @@
+"""Lowering of ConDRust functions into the ``dfg`` dialect.
+
+Each function becomes a ``dfg.graph`` whose block arguments are the function
+parameters and whose body is one ``dfg.node`` per call, wired by SSA values.
+The deterministic schedule is the topological order of the graph — which is
+simply the source order, since ConDRust is single-assignment.
+
+Kernel attributes (``#[kernel(offloaded = true, ...)]``) are copied onto the
+node so Olympus and the runtime can decide placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dialects import register_lowering
+from repro.errors import LoweringError
+from repro.frontends.condrust import ast
+from repro.frontends.condrust.ownership import check_ownership
+from repro.ir import Builder, Module, Operation, Value, types as T
+from repro.ir.core import Block, Region
+
+
+def _opaque_type(type_name: str) -> T.Type:
+    """ConDRust's rich nominal types map onto dynamic tensors in the IR.
+
+    The type *name* is preserved as metadata for interface generation (the
+    paper: "the language uses rich types to pass the information to
+    hardware-level interface generation").
+    """
+    return T.TensorType((None,), T.f64)
+
+
+@register_lowering("condrust-frontend", "dfg")
+def lower_program_to_dfg(program: ast.Program) -> Module:
+    """Ownership-check and lower a whole program to dfg graphs."""
+    check_ownership(program)
+    module = Module()
+    for fn in program.functions:
+        _lower_function(fn, module)
+    return module
+
+
+def _lower_function(fn: ast.Function, module: Module) -> Operation:
+    body = Block([_opaque_type(p.type_name) for p in fn.params])
+    graph = Operation.create(
+        "dfg.graph", [], [],
+        {
+            "sym_name": fn.name,
+            "param_names": [p.name for p in fn.params],
+            "param_types": [p.type_name for p in fn.params],
+            "return_type": fn.return_type or "Unit",
+        },
+        [Region([body])],
+    )
+    module.append(graph)
+    builder = Builder.at_end(body)
+    env: Dict[str, Value] = {
+        p.name: body.args[i] for i, p in enumerate(fn.params)
+    }
+
+    def lower_expr(expr: ast.Expr, type_name: str) -> Value:
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in env:
+                raise LoweringError(f"undefined value {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, ast.Call):
+            args = [lower_expr(a, "Value") for a in expr.args]
+            attrs: dict = {"callee": expr.callee, "result_type": type_name}
+            node = builder.create(
+                "dfg.node", args, [_opaque_type(type_name)], attrs
+            )
+            return node.results[0]
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit)):
+            const = builder.create(
+                "arith.constant", [], [_opaque_type("Literal")],
+                {"value": expr.value},
+            )
+            return const.results[0]
+        if isinstance(expr, ast.StrLit):
+            const = builder.create(
+                "arith.constant", [], [_opaque_type("Str")],
+                {"value": expr.value},
+            )
+            return const.results[0]
+        raise LoweringError(
+            f"cannot lower expression {type(expr).__name__} to dfg"
+        )
+
+    for stmt in fn.body:
+        value = lower_expr(stmt.value, stmt.type_name or "Value")
+        producer = value.owner_op()
+        if stmt.attr is not None:
+            if producer is None or producer.name != "dfg.node":
+                raise LoweringError(
+                    "#[kernel] attribute must annotate a call"
+                )
+            for key, attr_value in stmt.attr.params.items():
+                producer.set_attr(key, attr_value)
+        if producer is not None and producer.name == "dfg.node":
+            producer.set_attr("binding", stmt.name)
+        env[stmt.name] = value
+    assert fn.tail is not None  # guaranteed by the ownership checker
+    result = lower_expr(fn.tail, fn.return_type or "Value")
+    builder.create("dfg.output", [result], [])
+    return graph

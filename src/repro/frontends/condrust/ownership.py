@@ -1,0 +1,90 @@
+"""The ConDRust ownership checker.
+
+ConDRust inherits Rust's aliasing discipline, which is what makes the
+extracted dataflow *provably deterministic* (paper §V-A2): two nodes may
+race only if one of them mutates shared state, and the type system rules
+that out.  The subset's rules:
+
+* **single assignment** — a name is bound at most once per function;
+* **definition before use** — values flow forward only (the graph is a DAG
+  by construction);
+* **shared borrows** — an immutable binding may feed any number of calls;
+* **unique borrows** — a ``let mut`` binding may feed *exactly one* call
+  (its single consumer may mutate it without observable interference);
+* a function's tail expression must exist and may not read moved-out
+  mutable values.
+
+Violations raise :class:`repro.errors.OwnershipError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import OwnershipError
+from repro.frontends.condrust import ast
+
+
+def _expr_uses(expr: ast.Expr, uses: List[str]) -> None:
+    if isinstance(expr, ast.VarRef):
+        uses.append(expr.name)
+    elif isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _expr_uses(arg, uses)
+    elif isinstance(expr, (ast.TupleExpr, ast.ArrayLit)):
+        for element in expr.elements:
+            _expr_uses(element, uses)
+
+
+def check_function(fn: ast.Function) -> None:
+    """Check one function; raises :class:`OwnershipError` on violation."""
+    defined: Set[str] = set()
+    mutable: Set[str] = set()
+    consumed: Dict[str, int] = {}
+
+    def define(name: str, is_mut: bool, node: ast.Node) -> None:
+        if name in defined:
+            raise OwnershipError(
+                f"{fn.name}: name {name!r} bound twice (single assignment)",
+                node.line, node.column,
+            )
+        defined.add(name)
+        if is_mut:
+            mutable.add(name)
+
+    def use_all(expr: ast.Expr, node: ast.Node) -> None:
+        uses: List[str] = []
+        _expr_uses(expr, uses)
+        for name in uses:
+            if name not in defined:
+                raise OwnershipError(
+                    f"{fn.name}: use of undefined value {name!r}",
+                    node.line, node.column,
+                )
+            if name in mutable:
+                count = consumed.get(name, 0) + 1
+                consumed[name] = count
+                if count > 1:
+                    raise OwnershipError(
+                        f"{fn.name}: mutable value {name!r} consumed "
+                        f"{count} times (unique borrow violated)",
+                        node.line, node.column,
+                    )
+
+    for param in fn.params:
+        define(param.name, False, param)
+    for stmt in fn.body:
+        use_all(stmt.value, stmt)
+        define(stmt.name, stmt.mutable, stmt)
+    if fn.tail is None:
+        raise OwnershipError(
+            f"{fn.name}: function has no tail expression (nothing returned)",
+            fn.line, fn.column,
+        )
+    use_all(fn.tail, fn)
+
+
+def check_ownership(program: ast.Program) -> None:
+    """Check every function of a program."""
+    for fn in program.functions:
+        check_function(fn)

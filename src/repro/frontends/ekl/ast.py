@@ -1,0 +1,170 @@
+"""Abstract syntax tree for the EVEREST Kernel Language.
+
+The language (documented fully in ``repro.frontends.ekl.__init__``) is a
+declaration block followed by Einstein-notation assignments:
+
+* indices have declared extents and name tensor axes;
+* inputs declare dimensions either as extents (positional axes) or as index
+  names (named axes, enabling bare use of the tensor in expressions);
+* ``[a, b]`` stacks expressions along a new anonymous trailing axis
+  ("in-place construction");
+* subscripting re-associates named axes and binds anonymous axes;
+* ``sum[i, j](expr)`` reduces over named indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass
+class Node:
+    """Base AST node; every node records its source position."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+# -- expressions ------------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Node):
+    value: int
+
+
+@dataclass
+class FloatLit(Node):
+    value: float
+
+
+@dataclass
+class Name(Node):
+    """A bare identifier: an index, an input or an assigned variable."""
+
+    ident: str
+
+
+@dataclass
+class BinOp(Node):
+    op: str  # + - * / % and comparisons <= < >= > == !=
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass
+class UnaryOp(Node):
+    op: str  # -
+    operand: "Expr"
+
+
+@dataclass
+class Subscript(Node):
+    """``base[e1, ..., ek]`` — tensor indexing / axis re-association."""
+
+    base: "Expr"
+    indices: List["Expr"]
+
+
+@dataclass
+class StackExpr(Node):
+    """``[e1, e2, ...]`` — stack along a new anonymous trailing axis."""
+
+    elements: List["Expr"]
+
+
+@dataclass
+class SelectExpr(Node):
+    """``select(cond, a, b)`` — elementwise ternary choice."""
+
+    cond: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+
+
+@dataclass
+class SumExpr(Node):
+    """``sum[i, j](expr)`` — Einstein summation over named indices."""
+
+    over: List[str]
+    body: "Expr"
+
+
+@dataclass
+class CallExpr(Node):
+    """Scalar intrinsic application: ``exp(x)``, ``sqrt(x)``, ...."""
+
+    fn: str
+    args: List["Expr"]
+
+
+Expr = Union[
+    IntLit, FloatLit, Name, BinOp, UnaryOp, Subscript, StackExpr, SelectExpr,
+    SumExpr, CallExpr,
+]
+
+
+# -- declarations and statements --------------------------------------------------
+
+
+@dataclass
+class ConstDecl(Node):
+    name: str
+    value: int
+
+
+@dataclass
+class IndexDecl(Node):
+    name: str
+    extent: Union[int, str]  # an integer or a const name
+
+
+@dataclass
+class Dim(Node):
+    """One declared input dimension: an extent or an index name."""
+
+    extent: Optional[Union[int, str]]  # int literal or const name
+    index_name: Optional[str]  # set when the dim is a named axis
+
+
+@dataclass
+class InputDecl(Node):
+    name: str
+    dims: List[Dim]  # empty for scalars
+    dtype: str  # 'f64' | 'f32' | 'i64' | 'i32'
+
+
+@dataclass
+class OutputDecl(Node):
+    name: str
+
+
+@dataclass
+class Assign(Node):
+    """``target[axes...] = expr`` (the subscript on the target is optional)."""
+
+    target: str
+    target_axes: Optional[List[str]]
+    value: Expr
+
+
+Statement = Union[ConstDecl, IndexDecl, InputDecl, OutputDecl, Assign]
+
+
+@dataclass
+class Kernel(Node):
+    """A complete EKL kernel."""
+
+    name: str
+    consts: List[ConstDecl] = field(default_factory=list)
+    indices: List[IndexDecl] = field(default_factory=list)
+    inputs: List[InputDecl] = field(default_factory=list)
+    outputs: List[OutputDecl] = field(default_factory=list)
+    body: List[Assign] = field(default_factory=list)
+
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(decl.name for decl in self.inputs)
+
+    def output_names(self) -> Tuple[str, ...]:
+        return tuple(decl.name for decl in self.outputs)

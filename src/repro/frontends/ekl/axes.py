@@ -1,0 +1,140 @@
+"""Axis-labelling rules of the EVEREST Kernel Language.
+
+EKL values are *labelled tensors*: every axis is either **named** by an
+Einstein index (``"x"``, ``"g"``) or **anonymous** (created by stacking
+``[a, b]``).  These rules are shared by the interpreter and the dialect
+lowering, so both agree exactly on shapes.
+
+Subscript binding (the paper's "index re-association" and "subscripted
+subscripts") works in two passes:
+
+1. a subscript expression that is a *plain index name* matching a named axis
+   of the base binds that axis;
+2. the remaining expressions bind, in order, first the anonymous axes and
+   then the still-unbound named axes.
+
+Leftover *named* axes stay free (they keep participating in Einstein
+matching by name); leftover *anonymous* axes are an error — a stacked value
+must be fully bound before use in arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TypeCheckError
+
+_anon_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Anon:
+    """A unique label for one anonymous (stack-created) axis."""
+
+    uid: int
+
+    def __repr__(self) -> str:
+        return f"<anon{self.uid}>"
+
+
+def fresh_anon() -> Anon:
+    return Anon(next(_anon_counter))
+
+
+AxisLabel = object  # str for named axes, Anon for anonymous ones
+
+
+def is_named(label: AxisLabel) -> bool:
+    return isinstance(label, str)
+
+
+def ordered_union(axes_lists: Sequence[Sequence[AxisLabel]]) -> List[AxisLabel]:
+    """Union of axis labels, keeping first-appearance order."""
+    seen: List[AxisLabel] = []
+    for axes in axes_lists:
+        for label in axes:
+            if label not in seen:
+                seen.append(label)
+    return seen
+
+
+def check_all_named(axes: Sequence[AxisLabel], context: str) -> None:
+    for label in axes:
+        if not is_named(label):
+            raise TypeCheckError(
+                f"{context}: value has an unbound stacked axis; "
+                "subscript it to bind the axis before use"
+            )
+
+
+@dataclass
+class SubscriptPlan:
+    """How a subscript binds the base's axes.
+
+    ``binding[i]`` is the subscript-expression position bound to base axis
+    ``i``, or None when the (named) axis stays free.  ``result_axes`` is the
+    axis order of the subscript's result.
+    """
+
+    binding: List[Optional[int]]
+    result_axes: List[AxisLabel]
+
+
+def plan_subscript(
+    base_axes: Sequence[AxisLabel],
+    sub_plain_index: Sequence[Optional[str]],
+    sub_axes: Sequence[Sequence[AxisLabel]],
+    context: str = "subscript",
+) -> SubscriptPlan:
+    """Compute the binding of subscript expressions to base axes.
+
+    ``sub_plain_index[j]`` is the index name when subscript expression ``j``
+    is a bare index, else None.  ``sub_axes[j]`` lists the free axes of
+    subscript expression ``j``.
+    """
+    n_axes = len(base_axes)
+    n_subs = len(sub_plain_index)
+    if n_subs > n_axes:
+        raise TypeCheckError(
+            f"{context}: {n_subs} subscripts for a rank-{n_axes} value"
+        )
+    binding: List[Optional[int]] = [None] * n_axes
+    used = [False] * n_subs
+    # Pass 1: plain index names re-associate matching named axes.
+    for j, plain in enumerate(sub_plain_index):
+        if plain is None:
+            continue
+        for i, label in enumerate(base_axes):
+            if binding[i] is None and label == plain:
+                binding[i] = j
+                used[j] = True
+                break
+    # Pass 2: remaining expressions bind anonymous axes first, then the
+    # unbound named axes, in axis order.
+    remaining_exprs = [j for j in range(n_subs) if not used[j]]
+    anon_slots = [i for i, l in enumerate(base_axes)
+                  if binding[i] is None and not is_named(l)]
+    named_slots = [i for i, l in enumerate(base_axes)
+                   if binding[i] is None and is_named(l)]
+    slots = anon_slots + named_slots
+    if len(remaining_exprs) > len(slots):
+        raise TypeCheckError(f"{context}: too many subscript expressions")
+    for j, slot in zip(remaining_exprs, slots):
+        binding[slot] = j
+    # Every anonymous axis must now be bound.
+    for i, label in enumerate(base_axes):
+        if binding[i] is None and not is_named(label):
+            raise TypeCheckError(
+                f"{context}: stacked axis #{i} left unbound"
+            )
+    # Result axes: walk base axes in order; bound axes contribute their
+    # expression's axes, free named axes contribute themselves.
+    contributions: List[Sequence[AxisLabel]] = []
+    for i, label in enumerate(base_axes):
+        if binding[i] is None:
+            contributions.append([label])
+        else:
+            contributions.append(list(sub_axes[binding[i]]))
+    return SubscriptPlan(binding, ordered_union(contributions))

@@ -1,0 +1,377 @@
+"""Numpy interpreter for the EVEREST Kernel Language.
+
+This is both the language's reference semantics and the SDK's CPU execution
+path: ``compile`` via :mod:`repro.frontends.ekl.lower` reuses the same axis
+rules, so the interpreter's results validate the hardware path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FrontendError, TypeCheckError
+from repro.frontends.ekl import ast
+from repro.frontends.ekl.axes import (
+    AxisLabel,
+    check_all_named,
+    fresh_anon,
+    is_named,
+    ordered_union,
+    plan_subscript,
+)
+
+_DTYPES = {"f64": np.float64, "f32": np.float32, "i64": np.int64,
+           "i32": np.int32}
+
+
+@dataclass
+class Labelled:
+    """A value during evaluation: an ndarray plus one label per axis."""
+
+    array: np.ndarray
+    axes: Tuple[AxisLabel, ...]
+
+    def __post_init__(self) -> None:
+        if self.array.ndim != len(self.axes):
+            raise TypeCheckError(
+                f"internal: {self.array.ndim} dims vs {len(self.axes)} labels"
+            )
+
+
+class KernelEnv:
+    """Declaration tables and the value environment of one kernel run."""
+
+    def __init__(self, kernel: ast.Kernel):
+        self.kernel = kernel
+        self.consts: Dict[str, int] = {}
+        for decl in kernel.consts:
+            self.consts[decl.name] = decl.value
+        self.index_extents: Dict[str, int] = {}
+        for decl in kernel.indices:
+            self.index_extents[decl.name] = self._resolve_extent(
+                decl.extent, decl
+            )
+        self.inputs: Dict[str, ast.InputDecl] = {}
+        for decl in kernel.inputs:
+            self._check_input(decl)
+            self.inputs[decl.name] = decl
+        self.values: Dict[str, Labelled] = {}
+
+    def _resolve_extent(self, extent, node) -> int:
+        if isinstance(extent, int):
+            return extent
+        if extent in self.consts:
+            return self.consts[extent]
+        raise TypeCheckError(
+            f"unknown extent {extent!r}", node.line, node.column
+        )
+
+    def _check_input(self, decl: ast.InputDecl) -> None:
+        for dim in decl.dims:
+            name = dim.index_name
+            if name is not None and name not in self.index_extents \
+                    and name not in self.consts:
+                raise TypeCheckError(
+                    f"input {decl.name!r}: unknown dimension {name!r}",
+                    decl.line, decl.column,
+                )
+
+    def input_axes(self, decl: ast.InputDecl) -> Tuple[AxisLabel, ...]:
+        """Axis labels of an input: index names where declared, else anon."""
+        labels: List[AxisLabel] = []
+        for dim in decl.dims:
+            if dim.index_name is not None and dim.index_name in self.index_extents:
+                labels.append(dim.index_name)
+            else:
+                labels.append(fresh_anon())
+        return tuple(labels)
+
+    def input_shape(self, decl: ast.InputDecl) -> Tuple[int, ...]:
+        shape: List[int] = []
+        for dim in decl.dims:
+            if dim.index_name is not None and dim.index_name in self.index_extents:
+                shape.append(self.index_extents[dim.index_name])
+            else:
+                shape.append(self._resolve_extent(dim.extent, decl))
+        return tuple(shape)
+
+
+def _align(values: Sequence[Labelled], context: str) -> Tuple[List[np.ndarray],
+                                                              List[AxisLabel]]:
+    """Broadcast values to a common axis ordering (all axes must be named)."""
+    for value in values:
+        check_all_named(value.axes, context)
+    union = ordered_union([v.axes for v in values])
+    arrays: List[np.ndarray] = []
+    for value in values:
+        present = [a for a in union if a in value.axes]
+        perm = [value.axes.index(a) for a in present]
+        arr = value.array.transpose(perm)
+        shape = []
+        dim = 0
+        for a in union:
+            if a in value.axes:
+                shape.append(arr.shape[dim])
+                dim += 1
+            else:
+                shape.append(1)
+        arrays.append(arr.reshape(shape))
+    return arrays, union
+
+
+class Interpreter:
+    """Evaluates one kernel over concrete numpy inputs."""
+
+    def __init__(self, kernel: ast.Kernel):
+        self.kernel = kernel
+        self.env = KernelEnv(kernel)
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute the kernel body; returns arrays for each declared output.
+
+        Output arrays have their axes ordered as named-index
+        first-appearance order of the defining expression (or the explicit
+        target subscript order when the assignment wrote ``out[x, g] = ...``).
+        """
+        env = self.env
+        env.values = {}
+        for decl in self.kernel.inputs:
+            if decl.name not in inputs:
+                raise FrontendError(f"missing input {decl.name!r}")
+            array = np.asarray(inputs[decl.name], dtype=_DTYPES[decl.dtype])
+            expected = env.input_shape(decl)
+            if tuple(array.shape) != expected:
+                raise FrontendError(
+                    f"input {decl.name!r}: expected shape {expected}, "
+                    f"got {tuple(array.shape)}"
+                )
+            env.values[decl.name] = Labelled(array, env.input_axes(decl))
+        for stmt in self.kernel.body:
+            self._exec_assign(stmt)
+        outputs: Dict[str, np.ndarray] = {}
+        for out in self.kernel.outputs:
+            if out.name not in env.values:
+                raise FrontendError(f"output {out.name!r} was never assigned")
+            value = env.values[out.name]
+            check_all_named(value.axes, f"output {out.name!r}")
+            outputs[out.name] = value.array
+        return outputs
+
+    def output_axes(self, name: str) -> Tuple[str, ...]:
+        """Axis labels of an output after :meth:`run`."""
+        return tuple(self.env.values[name].axes)  # type: ignore[return-value]
+
+    # -- statements ---------------------------------------------------------------
+
+    def _exec_assign(self, stmt: ast.Assign) -> None:
+        if stmt.target in self.env.inputs or stmt.target in self.env.consts \
+                or stmt.target in self.env.index_extents:
+            raise TypeCheckError(
+                f"cannot assign to declared name {stmt.target!r}",
+                stmt.line, stmt.column,
+            )
+        value = self._eval(stmt.value)
+        if stmt.target_axes is not None:
+            check_all_named(value.axes, f"assignment to {stmt.target!r}")
+            wanted = list(stmt.target_axes)
+            if sorted(map(str, value.axes)) != sorted(wanted):
+                raise TypeCheckError(
+                    f"assignment to {stmt.target!r}: axes {wanted} do not "
+                    f"match value axes {list(value.axes)}",
+                    stmt.line, stmt.column,
+                )
+            perm = [value.axes.index(a) for a in wanted]
+            value = Labelled(value.array.transpose(perm), tuple(wanted))
+        self.env.values[stmt.target] = value
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr) -> Labelled:
+        if isinstance(expr, ast.IntLit):
+            return Labelled(np.asarray(expr.value, np.int64), ())
+        if isinstance(expr, ast.FloatLit):
+            return Labelled(np.asarray(expr.value, np.float64), ())
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval(expr.operand)
+            return Labelled(-operand.array, operand.axes)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, ast.Subscript):
+            return self._eval_subscript(expr)
+        if isinstance(expr, ast.StackExpr):
+            return self._eval_stack(expr)
+        if isinstance(expr, ast.SelectExpr):
+            arrays, union = _align(
+                [self._eval(expr.cond), self._eval(expr.then),
+                 self._eval(expr.otherwise)],
+                "select",
+            )
+            return Labelled(np.where(arrays[0], arrays[1], arrays[2]),
+                            tuple(union))
+        if isinstance(expr, ast.SumExpr):
+            return self._eval_sum(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._eval_call(expr)
+        raise FrontendError(f"unhandled expression node {type(expr).__name__}")
+
+    def _eval_name(self, expr: ast.Name) -> Labelled:
+        name = expr.ident
+        env = self.env
+        if name in env.values:
+            return env.values[name]
+        if name in env.index_extents:
+            extent = env.index_extents[name]
+            return Labelled(np.arange(extent, dtype=np.int64), (name,))
+        if name in env.consts:
+            return Labelled(np.asarray(env.consts[name], np.int64), ())
+        raise TypeCheckError(f"unknown name {name!r}", expr.line, expr.column)
+
+    def _eval_binop(self, expr: ast.BinOp) -> Labelled:
+        lhs = self._eval(expr.lhs)
+        rhs = self._eval(expr.rhs)
+        arrays, union = _align([lhs, rhs], f"operator {expr.op!r}")
+        a, b = arrays
+        op = expr.op
+        if op == "+":
+            out = a + b
+        elif op == "-":
+            out = a - b
+        elif op == "*":
+            out = a * b
+        elif op == "/":
+            out = np.asarray(a, np.float64) / np.asarray(b, np.float64)
+        elif op == "%":
+            out = a % b
+        elif op == "<=":
+            out = a <= b
+        elif op == "<":
+            out = a < b
+        elif op == ">=":
+            out = a >= b
+        elif op == ">":
+            out = a > b
+        elif op == "==":
+            out = a == b
+        elif op == "!=":
+            out = a != b
+        else:
+            raise FrontendError(f"unknown operator {op!r}",
+                                expr.line, expr.column)
+        return Labelled(out, tuple(union))
+
+    def _eval_subscript(self, expr: ast.Subscript) -> Labelled:
+        base = self._eval(expr.base)
+        sub_values = [self._eval(e) for e in expr.indices]
+        for j, sub in enumerate(sub_values):
+            check_all_named(sub.axes, f"subscript expression #{j}")
+            if not np.issubdtype(sub.array.dtype, np.integer):
+                raise TypeCheckError(
+                    f"subscript expression #{j} is not integer-valued",
+                    expr.line, expr.column,
+                )
+        plain = [
+            e.ident if isinstance(e, ast.Name)
+            and e.ident in self.env.index_extents else None
+            for e in expr.indices
+        ]
+        plan = plan_subscript(
+            base.axes, plain, [s.axes for s in sub_values],
+            context=f"subscript at {expr.line}:{expr.column}",
+        )
+        result_axes = plan.result_axes
+        # Build one integer index array per base axis, all aligned to
+        # result_axes, then apply a single advanced-indexing gather.
+        index_arrays: List[np.ndarray] = []
+        for i, label in enumerate(base.axes):
+            extent = base.array.shape[i]
+            if plan.binding[i] is None:
+                arr = np.arange(extent, dtype=np.int64)
+                shape = [1] * len(result_axes)
+                shape[result_axes.index(label)] = extent
+                index_arrays.append(arr.reshape(shape))
+            else:
+                sub = sub_values[plan.binding[i]]
+                index_arrays.append(_to_axes(sub, result_axes))
+                low = sub.array.min(initial=0)
+                high = sub.array.max(initial=0)
+                if low < 0 or high >= extent:
+                    raise FrontendError(
+                        f"subscript out of bounds on axis #{i}: "
+                        f"[{low}, {high}] not within [0, {extent})",
+                        expr.line, expr.column,
+                    )
+        gathered = base.array[tuple(index_arrays)]
+        return Labelled(gathered, tuple(result_axes))
+
+    def _eval_stack(self, expr: ast.StackExpr) -> Labelled:
+        values = [self._eval(e) for e in expr.elements]
+        arrays, union = _align(values, "stack")
+        broadcast = np.broadcast_shapes(*[a.shape for a in arrays])
+        stacked = np.stack([np.broadcast_to(a, broadcast) for a in arrays],
+                           axis=-1)
+        return Labelled(stacked, tuple(union) + (fresh_anon(),))
+
+    def _eval_sum(self, expr: ast.SumExpr) -> Labelled:
+        body = self._eval(expr.body)
+        check_all_named(body.axes, "sum")
+        positions = []
+        for name in expr.over:
+            if name not in body.axes:
+                raise TypeCheckError(
+                    f"sum over {name!r}, but the body has axes "
+                    f"{list(body.axes)}", expr.line, expr.column,
+                )
+            positions.append(body.axes.index(name))
+        out = body.array.sum(axis=tuple(positions))
+        remaining = tuple(a for a in body.axes if a not in expr.over)
+        return Labelled(out, remaining)
+
+    def _eval_call(self, expr: ast.CallExpr) -> Labelled:
+        args = [self._eval(a) for a in expr.args]
+        unary = {"exp": np.exp, "log": np.log, "sqrt": np.sqrt, "sin": np.sin,
+                 "cos": np.cos, "tanh": np.tanh, "abs": np.abs}
+        binary = {"min": np.minimum, "max": np.maximum, "pow": np.power}
+        if expr.fn in unary:
+            if len(args) != 1:
+                raise TypeCheckError(f"{expr.fn} takes one argument",
+                                     expr.line, expr.column)
+            return Labelled(unary[expr.fn](args[0].array), args[0].axes)
+        if expr.fn in binary:
+            if len(args) != 2:
+                raise TypeCheckError(f"{expr.fn} takes two arguments",
+                                     expr.line, expr.column)
+            arrays, union = _align(args, expr.fn)
+            return Labelled(binary[expr.fn](arrays[0], arrays[1]),
+                            tuple(union))
+        raise TypeCheckError(f"unknown intrinsic {expr.fn!r}",
+                             expr.line, expr.column)
+
+
+def _to_axes(value: Labelled, target_axes: Sequence[AxisLabel]) -> np.ndarray:
+    """Reshape/transpose ``value`` so its axes align with ``target_axes``."""
+    present = [a for a in target_axes if a in value.axes]
+    perm = [value.axes.index(a) for a in present]
+    arr = value.array.transpose(perm)
+    shape = []
+    dim = 0
+    for a in target_axes:
+        if a in value.axes:
+            shape.append(arr.shape[dim])
+            dim += 1
+        else:
+            shape.append(1)
+    return arr.reshape(shape)
+
+
+def run_kernel(
+    kernel: ast.Kernel, inputs: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Parseless entry point: execute an already-parsed kernel."""
+    return Interpreter(kernel).run(inputs)

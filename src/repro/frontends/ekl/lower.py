@@ -1,0 +1,485 @@
+"""Lowering of EKL kernels into MLIR: AST -> ``ekl`` dialect -> ``esn``.
+
+The first stage mirrors the interpreter's axis semantics (they share
+:mod:`repro.frontends.ekl.axes`), producing one ``ekl`` op per AST node
+annotated with axis labels and shaped tensor types.  The second stage
+removes named axes: every value gets a fixed axis order, broadcasts become
+explicit, products-with-summation become ``esn.einsum`` and subscripts
+become ``esn.gather``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dialects import register_lowering
+from repro.errors import LoweringError, TypeCheckError
+from repro.frontends.ekl import ast
+from repro.frontends.ekl.axes import (
+    Anon,
+    AxisLabel,
+    check_all_named,
+    fresh_anon,
+    is_named,
+    ordered_union,
+    plan_subscript,
+)
+from repro.frontends.ekl.interp import KernelEnv
+from repro.ir import Builder, Module, Operation, Value, types as T
+
+
+def _axis_attr(axes: Sequence[AxisLabel]) -> List[str]:
+    return [a if is_named(a) else f"~{a.uid}" for a in axes]
+
+
+_DTYPE_TYPES = {"f64": T.f64, "f32": T.f32, "i64": T.i64, "i32": T.i32,
+                "i1": T.i1}
+
+
+@dataclass
+class Shaped:
+    """Lowering-time value descriptor: IR value + axes + extents + dtype."""
+
+    value: Value
+    axes: Tuple[AxisLabel, ...]
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def extent_of(self, label: AxisLabel) -> int:
+        return self.shape[self.axes.index(label)]
+
+
+class EKLLowering:
+    """AST -> ``ekl`` dialect for one kernel."""
+
+    def __init__(self, kernel: ast.Kernel):
+        self.kernel = kernel
+        self.env = KernelEnv(kernel)
+        self.values: Dict[str, Shaped] = {}
+        self.builder: Builder = Builder()
+
+    def lower(self) -> Module:
+        """Produce a module holding one ``ekl.kernel``."""
+        from repro.ir.core import Block, Region
+
+        module = Module()
+        body = Block()
+        region = Region([body])
+        index_space = {
+            name: extent for name, extent in self.env.index_extents.items()
+        }
+        kernel_op = Operation.create(
+            "ekl.kernel", [], [],
+            {"sym_name": self.kernel.name, "index_space": index_space},
+            [region],
+        )
+        module.append(kernel_op)
+        self.builder = Builder.at_end(body)
+        for decl in self.kernel.inputs:
+            axes = self.env.input_axes(decl)
+            shape = self.env.input_shape(decl)
+            op = self.builder.create(
+                "ekl.arg", [], [T.TensorType(shape, _DTYPE_TYPES[decl.dtype])],
+                {"name": decl.name, "axes": _axis_attr(axes)},
+            )
+            self.values[decl.name] = Shaped(op.result, axes, shape, decl.dtype)
+        for stmt in self.kernel.body:
+            self._lower_assign(stmt)
+        outputs = []
+        names = []
+        for out in self.kernel.outputs:
+            if out.name not in self.values:
+                raise LoweringError(f"output {out.name!r} never assigned")
+            outputs.append(self.values[out.name].value)
+            names.append(out.name)
+        self.builder.create("ekl.yield", outputs, [], {"names": names})
+        return module
+
+    # -- statements ------------------------------------------------------------
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        shaped = self._lower_expr(stmt.value)
+        if stmt.target_axes is not None:
+            check_all_named(shaped.axes, f"assignment to {stmt.target!r}")
+            wanted = tuple(stmt.target_axes)
+            if sorted(map(str, shaped.axes)) != sorted(wanted):
+                raise TypeCheckError(
+                    f"assignment to {stmt.target!r}: axes mismatch",
+                    stmt.line, stmt.column,
+                )
+            if wanted != shaped.axes:
+                perm = [shaped.axes.index(a) for a in wanted]
+                new_shape = tuple(shaped.shape[i] for i in perm)
+                op = self.builder.create(
+                    "ekl.subscript", [shaped.value],
+                    [T.TensorType(new_shape, _DTYPE_TYPES[shaped.dtype])],
+                    {"axes": _axis_attr(wanted), "reassociate": list(wanted)},
+                )
+                shaped = Shaped(op.result, wanted, new_shape, shaped.dtype)
+        self.values[stmt.target] = shaped
+
+    # -- expressions --------------------------------------------------------------
+
+    def _make(self, name: str, operands: Sequence[Shaped],
+              axes: Sequence[AxisLabel], shape: Sequence[int], dtype: str,
+              extra_attrs: Optional[dict] = None) -> Shaped:
+        attrs = {"axes": _axis_attr(axes)}
+        attrs.update(extra_attrs or {})
+        op = self.builder.create(
+            name, [s.value for s in operands],
+            [T.TensorType(tuple(shape), _DTYPE_TYPES[dtype])], attrs,
+        )
+        return Shaped(op.result, tuple(axes), tuple(shape), dtype)
+
+    def _union_shape(self, operands: Sequence[Shaped]) -> Tuple[
+            List[AxisLabel], List[int]]:
+        union = ordered_union([s.axes for s in operands])
+        shape = []
+        for label in union:
+            extent = None
+            for s in operands:
+                if label in s.axes:
+                    extent = s.extent_of(label)
+                    break
+            shape.append(extent if extent is not None else 1)
+        return union, shape
+
+    def _lower_expr(self, expr: ast.Expr) -> Shaped:
+        if isinstance(expr, ast.IntLit):
+            return self._make("ekl.literal", [], [], [], "i64",
+                              {"value": expr.value})
+        if isinstance(expr, ast.FloatLit):
+            return self._make("ekl.literal", [], [], [], "f64",
+                              {"value": expr.value})
+        if isinstance(expr, ast.Name):
+            return self._lower_name(expr)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._lower_expr(expr.operand)
+            zero = self._make("ekl.literal", [], [], [], operand.dtype,
+                              {"value": 0 if operand.dtype.startswith("i")
+                               else 0.0})
+            return self._make("ekl.sub", [zero, operand], operand.axes,
+                              operand.shape, operand.dtype)
+        if isinstance(expr, ast.BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, ast.Subscript):
+            return self._lower_subscript(expr)
+        if isinstance(expr, ast.StackExpr):
+            operands = [self._lower_expr(e) for e in expr.elements]
+            for operand in operands:
+                check_all_named(operand.axes, "stack")
+            union, shape = self._union_shape(operands)
+            dtype = _join_dtype([s.dtype for s in operands])
+            return self._make("ekl.stack", operands,
+                              list(union) + [fresh_anon()],
+                              shape + [len(operands)], dtype)
+        if isinstance(expr, ast.SelectExpr):
+            cond = self._lower_expr(expr.cond)
+            then = self._lower_expr(expr.then)
+            other = self._lower_expr(expr.otherwise)
+            union, shape = self._union_shape([cond, then, other])
+            dtype = _join_dtype([then.dtype, other.dtype])
+            return self._make("ekl.select", [cond, then, other], union,
+                              shape, dtype)
+        if isinstance(expr, ast.SumExpr):
+            body = self._lower_expr(expr.body)
+            check_all_named(body.axes, "sum")
+            for name in expr.over:
+                if name not in body.axes:
+                    raise TypeCheckError(
+                        f"sum over {name!r} not in body axes",
+                        expr.line, expr.column,
+                    )
+            axes = [a for a in body.axes if a not in expr.over]
+            shape = [body.extent_of(a) for a in axes]
+            return self._make("ekl.sum", [body], axes, shape, body.dtype,
+                              {"over": list(expr.over)})
+        if isinstance(expr, ast.CallExpr):
+            operands = [self._lower_expr(a) for a in expr.args]
+            union, shape = self._union_shape(operands)
+            dtype = "f64" if expr.fn not in ("min", "max") else \
+                _join_dtype([s.dtype for s in operands])
+            return self._make("ekl.call", operands, union, shape, dtype,
+                              {"fn": expr.fn})
+        raise LoweringError(f"unhandled AST node {type(expr).__name__}")
+
+    def _lower_name(self, expr: ast.Name) -> Shaped:
+        name = expr.ident
+        if name in self.values:
+            return self.values[name]
+        if name in self.env.index_extents:
+            extent = self.env.index_extents[name]
+            return self._make("ekl.index", [], [name], [extent], "i64",
+                              {"name": name})
+        if name in self.env.consts:
+            return self._make("ekl.literal", [], [], [], "i64",
+                              {"value": self.env.consts[name]})
+        raise TypeCheckError(f"unknown name {name!r}", expr.line, expr.column)
+
+    _BINOP_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div",
+                  "%": "mod", "<=": "cmp_le", "<": "cmp_lt",
+                  ">=": "cmp_ge", ">": "cmp_gt", "==": "cmp_eq"}
+
+    def _lower_binop(self, expr: ast.BinOp) -> Shaped:
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        union, shape = self._union_shape([lhs, rhs])
+        kind = self._BINOP_OPS.get(expr.op)
+        if kind is None:
+            raise LoweringError(f"operator {expr.op!r} not lowerable")
+        if kind.startswith("cmp"):
+            dtype = "i1"
+        elif kind == "div":
+            dtype = "f64"
+        else:
+            dtype = _join_dtype([lhs.dtype, rhs.dtype])
+        opname = "ekl.mul" if kind == "mod" else f"ekl.{kind}"
+        return self._make(opname, [lhs, rhs], union, shape, dtype)
+
+    def _lower_subscript(self, expr: ast.Subscript) -> Shaped:
+        base = self._lower_expr(expr.base)
+        subs = [self._lower_expr(e) for e in expr.indices]
+        for j, sub in enumerate(subs):
+            check_all_named(sub.axes, f"subscript expression #{j}")
+        plain = [
+            e.ident if isinstance(e, ast.Name)
+            and e.ident in self.env.index_extents else None
+            for e in expr.indices
+        ]
+        plan = plan_subscript(base.axes, plain, [s.axes for s in subs],
+                              context=f"subscript at {expr.line}")
+        result_axes = plan.result_axes
+        shape = []
+        for label in result_axes:
+            extent = None
+            for source in [base] + subs:
+                if label in source.axes:
+                    extent = source.extent_of(label)
+                    break
+            shape.append(extent if extent is not None else 1)
+        binding_attr = [b if b is not None else -1 for b in plan.binding]
+        return self._make(
+            "ekl.subscript", [base] + subs, result_axes, shape, base.dtype,
+            {"binding": binding_attr},
+        )
+
+
+def _join_dtype(dtypes: Sequence[str]) -> str:
+    """Usual arithmetic conversions: any float operand makes the result f64."""
+    if any(d.startswith("f") for d in dtypes):
+        return "f64" if "f64" in dtypes or "i64" in dtypes else "f32"
+    if "i64" in dtypes:
+        return "i64"
+    if all(d == "i1" for d in dtypes):
+        return "i1"
+    return "i64"
+
+
+@register_lowering("ekl-frontend", "ekl")
+def lower_kernel_to_ekl(kernel: ast.Kernel) -> Module:
+    """Front door: EKL AST to a module holding one ``ekl.kernel``."""
+    return EKLLowering(kernel).lower()
+
+
+@register_lowering("ekl", "esn")
+def lower_ekl_to_esn(module: Module) -> Module:
+    """Convert ``ekl`` ops into the Einstein-notation dialect.
+
+    Named axes disappear: every value receives a concrete axis order (the
+    ``axes`` attribute order from the ekl level) and broadcasts, gathers,
+    einsums and maps become explicit.
+    """
+    from repro.ir.core import Block, Region
+
+    out = Module()
+    for op in module.body:
+        if op.name != "ekl.kernel":
+            continue
+        body = Block()
+        region = Region([body])
+        func = Operation.create(
+            "func.func", [], [],
+            {"sym_name": op.attr("sym_name"),
+             "function_type": T.FunctionType((), ()),
+             "kernel_lang": "esn"},
+            [region],
+        )
+        out.append(func)
+        builder = Builder.at_end(body)
+        mapping: Dict[Value, Value] = {}
+        for inner in op.regions[0].entry:
+            _convert_ekl_op(inner, builder, mapping)
+    return out
+
+
+_EKL_TO_MAP_FN = {"ekl.add": "addf", "ekl.sub": "subf", "ekl.mul": "mulf",
+                  "ekl.div": "divf", "ekl.min": "minimumf",
+                  "ekl.max": "maximumf", "ekl.cmp_le": "cmp_le",
+                  "ekl.cmp_lt": "cmp_lt", "ekl.cmp_ge": "cmp_ge",
+                  "ekl.cmp_gt": "cmp_gt", "ekl.cmp_eq": "cmp_eq"}
+
+
+def _convert_ekl_op(op: Operation, builder: Builder,
+                    mapping: Dict[Value, Value]) -> None:
+    def operand(i: int) -> Value:
+        return mapping[op.operands[i]]
+
+    axes = op.attr("axes")
+    if op.name == "ekl.arg":
+        new = builder.create("ekl.arg", [], [op.results[0].type],
+                             {"name": op.attr("name"), "axes": axes})
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name == "ekl.literal":
+        new = builder.create("arith.constant", [], [op.results[0].type],
+                             {"value": op.attr("value")})
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name == "ekl.index":
+        extent = op.results[0].type.shape[0]
+        new = builder.create("esn.iota", [], [op.results[0].type],
+                             {"extent": extent, "axes": axes})
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name in _EKL_TO_MAP_FN:
+        operands = [_broadcast_to(builder, mapping[o], op, axes)
+                    for o in op.operands]
+        new = builder.create("esn.map", operands, [op.results[0].type],
+                             {"fn": _EKL_TO_MAP_FN[op.name], "axes": axes})
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name == "ekl.call":
+        operands = [_broadcast_to(builder, mapping[o], op, axes)
+                    for o in op.operands]
+        new = builder.create("esn.map", operands, [op.results[0].type],
+                             {"fn": op.attr("fn"), "axes": axes})
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name == "ekl.select":
+        operands = [_broadcast_to(builder, mapping[o], op, axes)
+                    for o in op.operands]
+        new = builder.create("esn.select", operands, [op.results[0].type],
+                             {"axes": axes})
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name == "ekl.stack":
+        operands = [_broadcast_to(builder, mapping[o], op, axes[:-1])
+                    for o in op.operands]
+        new = builder.create("esn.stack", operands, [op.results[0].type],
+                             {"axes": axes})
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name == "ekl.subscript":
+        operands = [mapping[o] for o in op.operands]
+        new = builder.create(
+            "esn.gather", operands, [op.results[0].type],
+            {"spec": "reassoc", "axes": axes,
+             "binding": op.attr("binding") or [],
+             "base_axes": _producer_axes(op.operands[0]),
+             "sub_axes": [
+                 _producer_axes(o) for o in op.operands[1:]
+             ]},
+        )
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name == "ekl.sum":
+        # Fuse mul-trees under a sum into one einsum when possible.
+        source = op.operands[0]
+        factors = _collect_mul_factors(source)
+        if factors is not None and len(factors) >= 2:
+            spec, ordered = _einsum_spec(factors, op)
+            new = builder.create(
+                "esn.einsum", [mapping[f] for f in ordered],
+                [op.results[0].type], {"spec": spec, "axes": axes},
+            )
+            mapping[op.results[0]] = new.results[0]
+            return
+        body_axes = _producer_axes(op.operands[0])
+        positions = [body_axes.index(n) for n in op.attr("over")]
+        new = builder.create("esn.reduce", [operand(0)],
+                             [op.results[0].type],
+                             {"axes": positions, "out_axes": axes})
+        mapping[op.results[0]] = new.results[0]
+        return
+    if op.name == "ekl.yield":
+        builder.create("func.return", [mapping[o] for o in op.operands], [],
+                       {"names": op.attr("names")})
+        return
+    raise LoweringError(f"cannot convert {op.name} to esn")
+
+
+def _producer_axes(value: Value) -> List[str]:
+    producer = value.owner_op()
+    if producer is None:
+        raise LoweringError("esn conversion: value has no producer")
+    return producer.attr("axes") or []
+
+
+def _broadcast_to(builder: Builder, value: Value, user: Operation,
+                  target_axes: List[str]) -> Value:
+    """Insert an esn.broadcast unless the axes already match."""
+    source_axes = None
+    producer = value.owner_op()
+    if producer is not None:
+        source_axes = producer.attr("axes")
+    if source_axes == list(target_axes):
+        return value
+    result_elem = value.type.element if isinstance(value.type, T.TensorType) \
+        else value.type
+    user_type = user.results[0].type
+    shape = []
+    source_shape = value.type.shape if isinstance(value.type, T.TensorType) \
+        else ()
+    for i, label in enumerate(target_axes):
+        if source_axes and label in source_axes:
+            shape.append(source_shape[source_axes.index(label)])
+        else:
+            shape.append(user_type.shape[i]
+                         if isinstance(user_type, T.TensorType) else 1)
+    op = builder.create(
+        "esn.broadcast", [value],
+        [T.TensorType(tuple(shape), result_elem)],
+        {"in_axes": source_axes or [], "axes": list(target_axes)},
+    )
+    return op.results[0]
+
+
+def _collect_mul_factors(value: Value) -> Optional[List[Value]]:
+    """Flatten a tree of ekl.mul ops into its leaf factors."""
+    producer = value.owner_op()
+    if producer is None:
+        return None
+    if producer.name != "ekl.mul":
+        return None
+    factors: List[Value] = []
+
+    def walk(v: Value) -> None:
+        p = v.owner_op()
+        if p is not None and p.name == "ekl.mul":
+            for o in p.operands:
+                walk(o)
+        else:
+            factors.append(v)
+
+    walk(value)
+    return factors
+
+
+def _einsum_spec(factors: List[Value], sum_op: Operation) -> Tuple[str, List[Value]]:
+    """Build an einsum spec string from factor axes and the sum's result."""
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    label_to_letter: Dict[str, str] = {}
+
+    def letter_for(label: str) -> str:
+        if label not in label_to_letter:
+            label_to_letter[label] = letters[len(label_to_letter)]
+        return label_to_letter[label]
+
+    parts = []
+    for factor in factors:
+        axes = _producer_axes(factor)
+        parts.append("".join(letter_for(a) for a in axes))
+    out_axes = sum_op.attr("axes") or []
+    out = "".join(letter_for(a) for a in out_axes)
+    return ",".join(parts) + "->" + out, factors

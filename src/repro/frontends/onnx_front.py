@@ -1,0 +1,259 @@
+"""ONNX-like model ingestion (the SDK's ML entry point).
+
+The paper: "As input, the SDK supports standard ONNX ML models" which are
+read into the ``jabbah`` dialect and handled at the Operation Set
+Architecture (OSA) level for distribution by DOSA.  Offline we define a
+minimal ONNX-equivalent model description — a sequential graph of the
+standard inference layers — with
+
+* a numpy forward pass (:meth:`Model.forward`) used as the functional
+  reference,
+* a lowering into ``jabbah`` IR (:func:`lower_model_to_jabbah`),
+* per-layer compute/parameter statistics that DOSA's partitioner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dialects import register_lowering
+from repro.errors import FrontendError
+from repro.ir import Builder, Module, Operation, types as T
+from repro.ir.core import Block, Region
+
+
+@dataclass
+class Layer:
+    """One layer of a sequential model.
+
+    ``kind`` is one of ``conv2d``, ``relu``, ``maxpool2``, ``flatten``,
+    ``dense``.  ``weights``/``bias`` are set for conv2d (OIHW) and dense
+    (out x in).
+    """
+
+    kind: str
+    name: str
+    weights: Optional[np.ndarray] = None
+    bias: Optional[np.ndarray] = None
+    attrs: Dict[str, int] = field(default_factory=dict)
+
+    def param_count(self) -> int:
+        count = 0
+        if self.weights is not None:
+            count += self.weights.size
+        if self.bias is not None:
+            count += self.bias.size
+        return count
+
+
+@dataclass
+class Model:
+    """A sequential ML model: the offline stand-in for an ONNX file."""
+
+    name: str
+    input_shape: Tuple[int, ...]  # (C, H, W) or (features,)
+    layers: List[Layer] = field(default_factory=list)
+
+    # -- construction helpers ----------------------------------------------------
+
+    def conv2d(self, out_channels: int, kernel: int,
+               rng: np.random.Generator) -> "Model":
+        in_shape = self.output_shape()
+        if len(in_shape) != 3:
+            raise FrontendError("conv2d requires a (C, H, W) input")
+        c_in = in_shape[0]
+        scale = np.sqrt(2.0 / (c_in * kernel * kernel))
+        weights = rng.normal(0.0, scale, (out_channels, c_in, kernel, kernel))
+        bias = np.zeros(out_channels)
+        self.layers.append(Layer("conv2d", f"conv{len(self.layers)}",
+                                 weights, bias, {"kernel": kernel}))
+        return self
+
+    def relu(self) -> "Model":
+        self.layers.append(Layer("relu", f"relu{len(self.layers)}"))
+        return self
+
+    def maxpool2(self) -> "Model":
+        self.layers.append(Layer("maxpool2", f"pool{len(self.layers)}"))
+        return self
+
+    def flatten(self) -> "Model":
+        self.layers.append(Layer("flatten", f"flatten{len(self.layers)}"))
+        return self
+
+    def dense(self, out_features: int, rng: np.random.Generator) -> "Model":
+        in_shape = self.output_shape()
+        if len(in_shape) != 1:
+            raise FrontendError("dense requires a flattened input")
+        in_features = in_shape[0]
+        scale = np.sqrt(2.0 / in_features)
+        weights = rng.normal(0.0, scale, (out_features, in_features))
+        bias = np.zeros(out_features)
+        self.layers.append(Layer("dense", f"dense{len(self.layers)}",
+                                 weights, bias))
+        return self
+
+    # -- shape/compute analysis ------------------------------------------------------
+
+    def shape_after(self, layer_index: int) -> Tuple[int, ...]:
+        shape = self.input_shape
+        for layer in self.layers[: layer_index + 1]:
+            shape = _layer_output_shape(layer, shape)
+        return shape
+
+    def output_shape(self) -> Tuple[int, ...]:
+        return self.shape_after(len(self.layers) - 1) if self.layers \
+            else self.input_shape
+
+    def layer_macs(self, layer_index: int) -> int:
+        """Multiply-accumulate count of one layer (DOSA's cost metric)."""
+        layer = self.layers[layer_index]
+        in_shape = self.shape_after(layer_index - 1) if layer_index else \
+            self.input_shape
+        out_shape = self.shape_after(layer_index)
+        if layer.kind == "conv2d":
+            k = layer.attrs["kernel"]
+            c_out, h, w = out_shape
+            return c_out * h * w * in_shape[0] * k * k
+        if layer.kind == "dense":
+            return int(np.prod(out_shape)) * int(np.prod(in_shape))
+        return int(np.prod(out_shape))
+
+    def total_macs(self) -> int:
+        return sum(self.layer_macs(i) for i in range(len(self.layers)))
+
+    # -- execution --------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the model on one input sample."""
+        if tuple(x.shape) != self.input_shape:
+            raise FrontendError(
+                f"model {self.name}: expected input {self.input_shape}, "
+                f"got {tuple(x.shape)}"
+            )
+        for layer in self.layers:
+            x = run_layer(layer, x)
+        return x
+
+
+def _layer_output_shape(layer: Layer, in_shape: Tuple[int, ...]):
+    if layer.kind == "conv2d":
+        k = layer.attrs["kernel"]
+        c, h, w = in_shape
+        return (layer.weights.shape[0], h - k + 1, w - k + 1)
+    if layer.kind == "maxpool2":
+        c, h, w = in_shape
+        return (c, h // 2, w // 2)
+    if layer.kind == "flatten":
+        return (int(np.prod(in_shape)),)
+    if layer.kind == "dense":
+        return (layer.weights.shape[0],)
+    return in_shape
+
+
+def run_layer(layer: Layer, x: np.ndarray) -> np.ndarray:
+    """Numpy forward of one layer (valid padding, stride 1 / pool 2)."""
+    if layer.kind == "conv2d":
+        k = layer.attrs["kernel"]
+        windows = np.lib.stride_tricks.sliding_window_view(x, (k, k),
+                                                           axis=(1, 2))
+        # windows: (C_in, H', W', k, k); weights: (C_out, C_in, k, k)
+        out = np.einsum("cxyhw,ochw->oxy", windows, layer.weights)
+        return out + layer.bias[:, None, None]
+    if layer.kind == "relu":
+        return np.maximum(x, 0.0)
+    if layer.kind == "maxpool2":
+        c, h, w = x.shape
+        trimmed = x[:, : h // 2 * 2, : w // 2 * 2]
+        return trimmed.reshape(c, h // 2, 2, w // 2, 2).max(axis=(2, 4))
+    if layer.kind == "flatten":
+        return x.reshape(-1)
+    if layer.kind == "dense":
+        return layer.weights @ x + layer.bias
+    raise FrontendError(f"unknown layer kind {layer.kind!r}")
+
+
+@register_lowering("onnx-frontend", "jabbah")
+def lower_model_to_jabbah(model: Model) -> Module:
+    """Lower a model into a ``jabbah.model`` operation-set graph."""
+    module = Module()
+    body = Block([T.TensorType(model.input_shape, T.f32)])
+    graph = Operation.create(
+        "jabbah.model", [], [],
+        {"sym_name": model.name,
+         "input_shape": list(model.input_shape)},
+        [Region([body])],
+    )
+    module.append(graph)
+    builder = Builder.at_end(body)
+    value = body.args[0]
+    for i, layer in enumerate(model.layers):
+        out_shape = model.shape_after(i)
+        operands = [value]
+        if layer.weights is not None:
+            weights = builder.create(
+                "jabbah.weights", [],
+                [T.TensorType(layer.weights.shape, T.f32)],
+                {"layer": layer.name, "params": int(layer.param_count())},
+            )
+            operands.append(weights.results[0])
+        node = builder.create(
+            "jabbah.op", operands, [T.TensorType(out_shape, T.f32)],
+            {"osa": layer.kind, "layer": layer.name,
+             "macs": int(model.layer_macs(i)), **layer.attrs},
+        )
+        value = node.results[0]
+    builder.create("jabbah.output", [value], [])
+    return module
+
+
+@register_lowering("jabbah", "dfg")
+def lower_jabbah_to_dfg(module: Module) -> Module:
+    """Convert a jabbah model graph into a dfg dataflow (for DOSA/runtime)."""
+    out = Module()
+    for graph in module.body:
+        if graph.name != "jabbah.model":
+            continue
+        entry = graph.regions[0].entry
+        body = Block([a.type for a in entry.args])
+        dfg_graph = Operation.create(
+            "dfg.graph", [], [],
+            {"sym_name": graph.attr("sym_name"),
+             "param_names": ["input"], "param_types": ["Tensor"],
+             "return_type": "Tensor"},
+            [Region([body])],
+        )
+        out.append(dfg_graph)
+        builder = Builder.at_end(body)
+        mapping = dict(zip(entry.args, body.args))
+        for op in entry:
+            if op.name == "jabbah.weights":
+                const = builder.create("arith.constant", [],
+                                       [op.results[0].type],
+                                       {"value": op.attr("layer")})
+                mapping[op.results[0]] = const.results[0]
+            elif op.name == "jabbah.op":
+                node = builder.create(
+                    "dfg.node", [mapping[o] for o in op.operands],
+                    [op.results[0].type],
+                    {"callee": op.attr("osa"), "binding": op.attr("layer"),
+                     "macs": op.attr("macs")},
+                )
+                mapping[op.results[0]] = node.results[0]
+            elif op.name == "jabbah.output":
+                builder.create("dfg.output", [mapping[op.operands[0]]], [])
+    return out
+
+
+def example_cnn(name: str = "traffic_speed_cnn",
+                seed: int = 7) -> Model:
+    """A small CNN like the traffic use case's road-speed predictor."""
+    rng = np.random.default_rng(seed)
+    model = Model(name, (1, 24, 24))
+    model.conv2d(8, 3, rng).relu().maxpool2()
+    model.conv2d(16, 3, rng).relu().maxpool2()
+    model.flatten().dense(32, rng).relu().dense(4, rng)
+    return model

@@ -1,0 +1,362 @@
+"""The HLS engine driver: affine functions -> scheduled kernels -> reports.
+
+Fills the role Vitis HLS / Bambu play in the EVEREST SDK (paper §IV): each
+lowered ``affine`` function is analyzed nest by nest, every innermost body
+is list-scheduled and pipelined, and the result is a
+:class:`KernelReport` — latency in cycles, initiation intervals, functional
+units and FPGA resources — the currency Olympus, the autotuner and the
+runtime trade in.
+
+The engine also emits the controller as an ``fsm.machine`` and the datapath
+skeleton as an ``hw.module`` (the two backend dialects of Fig. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dialects import register_lowering
+from repro.errors import HLSError
+from repro.hls.resources import (
+    SHARABLE_CLASSES,
+    OpCost,
+    ResourceBudget,
+    cost_of,
+)
+from repro.hls.scheduling import BodyDFG, Schedule, build_dfg, list_schedule
+from repro.ir import Module, Operation, types as T
+from repro.numerics import NumberFormat, format_bits
+from repro.numerics.fixed_point import FixedPointFormat
+from repro.numerics.float_formats import FloatFormat
+from repro.numerics.posit import PositFormat
+
+_LOOP_OVERHEAD = 2  # cycles to enter/flush one pipelined nest
+
+
+@dataclass
+class NestReport:
+    """Synthesis result of one loop nest."""
+
+    trip_count: int
+    depth: int
+    ii: int
+    res_mii: int
+    rec_mii: int
+    units: Dict[str, int]
+    body_ops: int
+    unit_costs: Dict[str, OpCost] = field(default_factory=dict)
+    fixed_resources: ResourceBudget = field(default_factory=ResourceBudget)
+
+    @property
+    def cycles(self) -> int:
+        if self.trip_count == 0:
+            return 0
+        return self.depth + (self.trip_count - 1) * self.ii + _LOOP_OVERHEAD
+
+
+@dataclass
+class KernelReport:
+    """Synthesis report of one kernel (one affine function)."""
+
+    name: str
+    nests: List[NestReport] = field(default_factory=list)
+    resources: ResourceBudget = field(default_factory=ResourceBudget)
+    bytes_in: int = 0
+    bytes_out: int = 0
+    port_width_bits: int = 64
+    clock_mhz: float = 300.0
+    number_format: str = "f64"
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(nest.cycles for nest in self.nests)
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e6)
+
+    def summary(self) -> str:
+        lines = [
+            f"kernel {self.name}: {self.total_cycles} cycles "
+            f"({self.latency_seconds * 1e6:.1f} us @ {self.clock_mhz} MHz, "
+            f"format {self.number_format})",
+            f"  resources: LUT={self.resources.lut} FF={self.resources.ff} "
+            f"DSP={self.resources.dsp} BRAM={self.resources.bram}",
+            f"  data: in={self.bytes_in}B out={self.bytes_out}B",
+        ]
+        for i, nest in enumerate(self.nests):
+            lines.append(
+                f"  nest {i}: trip={nest.trip_count} II={nest.ii} "
+                f"depth={nest.depth} (resMII={nest.res_mii}, "
+                f"recMII={nest.rec_mii})"
+            )
+        return "\n".join(lines)
+
+
+def _format_ir_type(fmt: Optional[NumberFormat]) -> Optional[T.Type]:
+    if fmt is None:
+        return None
+    if isinstance(fmt, FloatFormat):
+        return {"f64": T.f64, "f32": T.f32, "f16": T.f16,
+                "bf16": T.bf16}[fmt.name]
+    if isinstance(fmt, FixedPointFormat):
+        return fmt.ir_type()
+    if isinstance(fmt, PositFormat):
+        return fmt.ir_type()
+    raise HLSError(f"unsupported number format {fmt!r}")
+
+
+class HLSEngine:
+    """Synthesizes affine functions into kernel reports and backend IR."""
+
+    def __init__(self, clock_mhz: float = 300.0,
+                 mem_ports: int = 2,
+                 number_format: Optional[NumberFormat] = None):
+        self.clock_mhz = clock_mhz
+        self.mem_ports = mem_ports
+        self.number_format = number_format
+        self._format_type = _format_ir_type(number_format)
+
+    # -- public API ---------------------------------------------------------------
+
+    def synthesize(self, module: Module, func_name: str) -> KernelReport:
+        """Synthesize one affine-level function."""
+        func = module.lookup(func_name)
+        if func.attr("kernel_lang") != "affine":
+            raise HLSError(f"{func_name}: not an affine-level function "
+                           "(run the teil lowering first)")
+        report = KernelReport(
+            name=func_name, clock_mhz=self.clock_mhz,
+            number_format=str(self.number_format) if self.number_format
+            else "f64",
+        )
+        entry = func.regions[0].entry
+        num_outputs = func.attr("num_outputs") or 0
+        args = entry.args
+        for i, arg in enumerate(args):
+            ref = arg.type
+            if isinstance(ref, T.MemRefType):
+                size = self._buffer_bytes(ref)
+                if i < len(args) - num_outputs:
+                    report.bytes_in += size
+                else:
+                    report.bytes_out += size
+        for op in entry.operations:
+            if op.name == "affine.for":
+                nest = self._synthesize_nest(op)
+                report.nests.append(nest)
+                # Shared units (muls, dividers, memory ports) are sized for
+                # the achieved II; everything else is one unit per body op.
+                for family, count in nest.units.items():
+                    cost = nest.unit_costs.get(family)
+                    if cost is not None:
+                        report.resources.add(cost, count)
+                report.resources = report.resources.merged(
+                    nest.fixed_resources
+                )
+            elif op.name == "memref.alloc":
+                ref = op.results[0].type
+                report.resources.bram += self._bram_blocks(ref)
+        # Port width: widest element among the argument buffers.
+        widths = [
+            T.bitwidth(self._cost_element(a.type.element))
+            for a in args if isinstance(a.type, T.MemRefType)
+        ]
+        report.port_width_bits = max(widths, default=64)
+        return report
+
+    def synthesize_all(self, module: Module) -> Dict[str, KernelReport]:
+        reports = {}
+        for op in module.body:
+            if op.name == "func.func" and op.attr("kernel_lang") == "affine":
+                name = op.attr("sym_name")
+                reports[name] = self.synthesize(module, name)
+        return reports
+
+    # -- internals -----------------------------------------------------------------
+
+    def _cost_element(self, element: T.Type) -> T.Type:
+        """Numeric-format override: float elements re-typed for costing."""
+        if self._format_type is not None and isinstance(element, T.FloatType):
+            return self._format_type
+        return element
+
+    def _buffer_bytes(self, ref: T.MemRefType) -> int:
+        element = self._cost_element(ref.element)
+        try:
+            bits = T.bitwidth(element)
+        except Exception:
+            bits = 64
+        count = 1
+        for dim in ref.shape:
+            count *= dim if dim is not None else 1
+        return count * ((bits + 7) // 8)
+
+    def _bram_blocks(self, ref: T.MemRefType) -> int:
+        # One BRAM18 holds 18 Kb = 2304 bytes.
+        return max(1, math.ceil(self._buffer_bytes(ref) / 2304))
+
+    def _element_of(self, op: Operation) -> T.Type:
+        if op.name == "memref.store":
+            ty = op.operands[0].type
+        elif op.results:
+            ty = op.results[0].type
+        elif op.operands:
+            ty = op.operands[0].type
+        else:
+            ty = T.i32
+        if isinstance(ty, T.MemRefType):
+            ty = ty.element
+        return self._cost_element(ty)
+
+    def _synthesize_nest(self, loop: Operation) -> NestReport:
+        trip = 1
+        current = loop
+        body_ops: List[Operation] = []
+        while True:
+            lower = current.attr("lower")
+            upper = current.attr("upper")
+            step = current.attr("step") or 1
+            trip *= max(0, math.ceil((upper - lower) / step))
+            block = current.regions[0].entry
+            inner_loops = [op for op in block if op.name == "affine.for"]
+            if len(inner_loops) == 1 and all(
+                op.name in ("affine.for", "affine.yield")
+                for op in block
+            ):
+                current = inner_loops[0]
+                continue
+            body_ops = [op for op in block if op.name != "affine.for"]
+            # Imperfect nest bodies: inner loops contribute their own trip.
+            for inner in inner_loops:
+                inner_report = self._synthesize_nest(inner)
+                body_ops.extend(
+                    op for op in _innermost_ops(inner)
+                )
+            break
+        dfg = build_dfg(body_ops, self._element_of)
+        schedule = list_schedule(dfg, {"mem": self.mem_ports})
+        unit_costs: Dict[str, OpCost] = {}
+        fixed = ResourceBudget()
+        for node in dfg.nodes:
+            if node.family in SHARABLE_CLASSES:
+                best = unit_costs.get(node.family)
+                if best is None or node.cost.lut > best.lut:
+                    unit_costs[node.family] = node.cost
+            else:
+                fixed.add(node.cost)
+        return NestReport(
+            trip_count=trip,
+            depth=max(schedule.depth, 1),
+            ii=schedule.ii,
+            res_mii=schedule.res_mii,
+            rec_mii=schedule.rec_mii,
+            units=schedule.units,
+            body_ops=dfg.size,
+            unit_costs=unit_costs,
+            fixed_resources=fixed,
+        )
+
+    # -- backend emission ------------------------------------------------------------
+
+    def emit_fsm(self, module: Module, func_name: str,
+                 target: Module) -> Operation:
+        """Emit the nest controller FSM into ``target``."""
+        report = self.synthesize(module, func_name)
+        states: List[dict] = [{"name": "idle", "next": "run0"}]
+        for i, nest in enumerate(report.nests):
+            states.append({
+                "name": f"run{i}",
+                "trip": nest.trip_count,
+                "ii": nest.ii,
+                "depth": nest.depth,
+                "next": f"run{i + 1}" if i + 1 < len(report.nests)
+                else "done",
+            })
+        states.append({"name": "done", "next": "idle"})
+        fsm = Operation.create(
+            "fsm.machine", [], [],
+            {"sym_name": f"{func_name}_ctrl", "states": states,
+             "initial": "idle"},
+        )
+        target.append(fsm)
+        return fsm
+
+    def emit_hw(self, module: Module, func_name: str,
+                target: Module) -> Operation:
+        """Emit the datapath skeleton as an ``hw.module``."""
+        from repro.ir.core import Block, Region
+
+        func = module.lookup(func_name)
+        report = self.synthesize(module, func_name)
+        ports = []
+        arg_names = func.attr("arg_names") or []
+        for i, arg in enumerate(func.regions[0].entry.args):
+            name = arg_names[i] if i < len(arg_names) else f"arg{i}"
+            ports.append({"name": name, "dir": "in"
+                          if i < len(arg_names) - (func.attr("num_outputs")
+                                                   or 0) else "out",
+                          "width": report.port_width_bits})
+        body = Block()
+        hw_module = Operation.create(
+            "hw.module", [], [],
+            {"sym_name": f"{func_name}_dp", "ports": ports},
+            [Region([body])],
+        )
+        target.append(hw_module)
+        units: Dict[str, int] = {}
+        for nest in report.nests:
+            for family, count in nest.units.items():
+                units[family] = units.get(family, 0) + count
+        from repro.ir import Builder
+
+        builder = Builder.at_end(body)
+        for family, count in sorted(units.items()):
+            for k in range(count):
+                builder.create(
+                    "hw.instance", [], [],
+                    {"module": f"fu_{family}",
+                     "instance_name": f"{family}_{k}"},
+                )
+        builder.create("hw.output", [], [])
+        return hw_module
+
+
+def _innermost_ops(loop: Operation) -> List[Operation]:
+    block = loop.regions[0].entry
+    inner = [op for op in block if op.name == "affine.for"]
+    if inner:
+        return _innermost_ops(inner[0])
+    return [op for op in block if op.name != "affine.yield"]
+
+
+def synthesize_kernel(module: Module, func_name: str,
+                      number_format: Optional[NumberFormat] = None,
+                      clock_mhz: float = 300.0) -> KernelReport:
+    """One-call synthesis entry point."""
+    return HLSEngine(clock_mhz=clock_mhz,
+                     number_format=number_format).synthesize(module, func_name)
+
+
+@register_lowering("affine", "fsm")
+def lower_affine_to_fsm(module: Module) -> Module:
+    """Fig. 5 edge: controllers for every affine function."""
+    target = Module()
+    engine = HLSEngine()
+    for op in module.body:
+        if op.name == "func.func" and op.attr("kernel_lang") == "affine":
+            engine.emit_fsm(module, op.attr("sym_name"), target)
+    return target
+
+
+@register_lowering("affine", "hw")
+def lower_affine_to_hw(module: Module) -> Module:
+    """Fig. 5 edge: datapath skeletons for every affine function."""
+    target = Module()
+    engine = HLSEngine()
+    for op in module.body:
+        if op.name == "func.func" and op.attr("kernel_lang") == "affine":
+            engine.emit_hw(module, op.attr("sym_name"), target)
+    return target

@@ -1,0 +1,102 @@
+"""A compact MLIR-style intermediate representation.
+
+This package provides the IR substrate the EVEREST SDK reproduction is built
+on: types, attributes, generic operations with regions, a builder, a textual
+printer/parser pair that round-trips, a verifier driven by declarative
+dialect definitions, and a pass/pattern-rewrite infrastructure.
+
+Quick tour::
+
+    from repro.ir import Module, Builder, types as T
+
+    m = Module()
+    b = Builder.at_end(m.body)
+    c = b.create("arith.constant", result_types=[T.f64],
+                 attributes={"value": 2.0}).result
+    print(m)                    # generic MLIR syntax
+"""
+
+from repro.ir import types
+from repro.ir.attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseAttr,
+    DictAttr,
+    FloatAttr,
+    IntAttr,
+    StrAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+    attr,
+    unwrap,
+)
+from repro.ir.builder import Builder, build_func
+from repro.ir.core import (
+    Block,
+    BlockArgument,
+    Module,
+    Operation,
+    OpResult,
+    Region,
+    Value,
+)
+from repro.ir.dialect import REGISTRY, Dialect, DialectRegistry, OpDef, register_dialect
+from repro.ir.parser import parse_module, parse_type
+from repro.ir.passes import (
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    LambdaPass,
+    Pass,
+    PassManager,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns,
+)
+from repro.ir.printer import print_module, print_op
+from repro.ir.verifier import verify
+
+__all__ = [
+    "types",
+    "Attribute",
+    "IntAttr",
+    "FloatAttr",
+    "BoolAttr",
+    "StrAttr",
+    "UnitAttr",
+    "TypeAttr",
+    "SymbolRefAttr",
+    "ArrayAttr",
+    "DictAttr",
+    "DenseAttr",
+    "attr",
+    "unwrap",
+    "Builder",
+    "build_func",
+    "Block",
+    "BlockArgument",
+    "Module",
+    "Operation",
+    "OpResult",
+    "Region",
+    "Value",
+    "Dialect",
+    "DialectRegistry",
+    "OpDef",
+    "REGISTRY",
+    "register_dialect",
+    "parse_module",
+    "parse_type",
+    "print_module",
+    "print_op",
+    "verify",
+    "Pass",
+    "LambdaPass",
+    "PassManager",
+    "RewritePattern",
+    "PatternRewriter",
+    "apply_patterns",
+    "DeadCodeElimination",
+    "CommonSubexpressionElimination",
+]

@@ -1,0 +1,154 @@
+"""Dialect registry: declarative definitions of operations per dialect.
+
+A :class:`Dialect` groups :class:`OpDef` entries.  Registration is optional
+for *constructing* IR (the core is fully generic) but required for
+*verification*: :func:`repro.ir.verifier.verify` checks every op whose
+dialect is registered against its definition (arity, regions, required
+attributes, custom verifier).
+
+This mirrors MLIR's ODS layer at a level of detail appropriate for the SDK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.core import Operation
+
+# A variadic arity marker: ops may take any number of operands/results.
+VARIADIC = -1
+
+
+@dataclass
+class OpDef:
+    """Definition of one operation kind.
+
+    ``num_operands``/``num_results`` use :data:`VARIADIC` for "any number".
+    ``required_attrs`` maps attribute name to a human-readable description.
+    ``verify`` is an optional callable raising :class:`IRError` on violation.
+    ``traits`` is a free-form set of markers (e.g. ``"terminator"``,
+    ``"pure"``, ``"symbol"``) that passes may query.
+    """
+
+    name: str
+    summary: str = ""
+    num_operands: int = VARIADIC
+    num_results: int = VARIADIC
+    num_regions: int = 0
+    required_attrs: Dict[str, str] = field(default_factory=dict)
+    traits: Tuple[str, ...] = ()
+    verify: Optional[Callable[[Operation], None]] = None
+
+    def check(self, op: Operation) -> None:
+        """Structural check of ``op`` against this definition."""
+        if self.num_operands != VARIADIC and len(op.operands) != self.num_operands:
+            raise IRError(
+                f"{op.name}: expected {self.num_operands} operands, "
+                f"got {len(op.operands)}"
+            )
+        if self.num_results != VARIADIC and len(op.results) != self.num_results:
+            raise IRError(
+                f"{op.name}: expected {self.num_results} results, "
+                f"got {len(op.results)}"
+            )
+        if self.num_regions != VARIADIC and len(op.regions) != self.num_regions:
+            raise IRError(
+                f"{op.name}: expected {self.num_regions} regions, "
+                f"got {len(op.regions)}"
+            )
+        for attr_name, description in self.required_attrs.items():
+            if attr_name not in op.attributes:
+                raise IRError(
+                    f"{op.name}: missing required attribute "
+                    f"'{attr_name}' ({description})"
+                )
+        if self.verify is not None:
+            self.verify(op)
+
+
+class Dialect:
+    """A named collection of operation definitions."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.ops: Dict[str, OpDef] = {}
+
+    def op(
+        self,
+        opname: str,
+        summary: str = "",
+        num_operands: int = VARIADIC,
+        num_results: int = VARIADIC,
+        num_regions: int = 0,
+        required_attrs: Optional[Dict[str, str]] = None,
+        traits: Iterable[str] = (),
+        verify: Optional[Callable[[Operation], None]] = None,
+    ) -> OpDef:
+        """Define and register an operation in this dialect."""
+        full = f"{self.name}.{opname}"
+        if opname in self.ops:
+            raise IRError(f"duplicate op definition: {full}")
+        opdef = OpDef(
+            name=full,
+            summary=summary,
+            num_operands=num_operands,
+            num_results=num_results,
+            num_regions=num_regions,
+            required_attrs=dict(required_attrs or {}),
+            traits=tuple(traits),
+            verify=verify,
+        )
+        self.ops[opname] = opdef
+        return opdef
+
+    def __contains__(self, opname: str) -> bool:
+        return opname in self.ops
+
+    def __iter__(self):
+        return iter(self.ops.values())
+
+
+class DialectRegistry:
+    """Holds registered dialects; one global default registry exists."""
+
+    def __init__(self) -> None:
+        self.dialects: Dict[str, Dialect] = {}
+
+    def register(self, dialect: Dialect) -> Dialect:
+        if dialect.name in self.dialects:
+            raise IRError(f"dialect already registered: {dialect.name}")
+        self.dialects[dialect.name] = dialect
+        return dialect
+
+    def get(self, name: str) -> Optional[Dialect]:
+        return self.dialects.get(name)
+
+    def opdef_for(self, op: Operation) -> Optional[OpDef]:
+        """Find the definition for ``op``, or None if its dialect/op is
+        unregistered."""
+        dialect = self.dialects.get(op.dialect)
+        if dialect is None:
+            return None
+        return dialect.ops.get(op.opname)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.dialects))
+
+
+# The default global registry.  ``repro.dialects`` populates it on import.
+REGISTRY = DialectRegistry()
+
+
+def register_dialect(name: str, description: str = "") -> Dialect:
+    """Create and register a dialect in the global registry.
+
+    Idempotent per name: calling twice raises, so modules guard with
+    ``REGISTRY.get``.
+    """
+    existing = REGISTRY.get(name)
+    if existing is not None:
+        return existing
+    return REGISTRY.register(Dialect(name, description))

@@ -1,0 +1,460 @@
+"""Parser for the textual IR (MLIR generic form).
+
+Parses exactly the syntax produced by :mod:`repro.ir.printer`, making
+``parse_module(print_module(m))`` an identity on structure (property-tested
+in ``tests/ir/test_roundtrip.py``).  It is a character-level recursive
+descent parser; types and attributes share the same machinery.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import IRParseError
+from repro.ir.attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseAttr,
+    DictAttr,
+    FloatAttr,
+    IntAttr,
+    StrAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+)
+from repro.ir.core import Block, Module, Operation, Region, Value
+from repro.ir.types import (
+    FixedPointType,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneOpType,
+    PositType,
+    StreamType,
+    TensorType,
+    Type,
+)
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_.$\-]*")
+_NUMBER = re.compile(r"-?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+)")
+_VALUE_REF = re.compile(r"%(\d+)(?:#(\d+))?")
+
+
+class Parser:
+    """Recursive-descent parser over a single text buffer."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        # Unified value namespace: "%N" or "%N#K" -> Value.
+        self.values: Dict[str, Value] = {}
+
+    # -- low-level helpers ----------------------------------------------------
+
+    def error(self, message: str) -> IRParseError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        col = self.pos - (self.text.rfind("\n", 0, self.pos) + 1) + 1
+        return IRParseError(message, line, col)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                nl = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if nl < 0 else nl + 1
+            else:
+                break
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self, literal: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(literal, self.pos)
+
+    def accept(self, literal: str) -> bool:
+        if self.peek(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.accept(literal):
+            found = self.text[self.pos : self.pos + 12]
+            raise self.error(f"expected {literal!r}, found {found!r}")
+
+    def match(self, pattern: re.Pattern) -> Optional[str]:
+        self.skip_ws()
+        m = pattern.match(self.text, self.pos)
+        if m is None:
+            return None
+        self.pos = m.end()
+        return m.group(0)
+
+    def parse_string_literal(self) -> str:
+        self.skip_ws()
+        if not self.accept('"'):
+            raise self.error("expected string literal")
+        out: List[str] = []
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == "\\":
+                nxt = self.text[self.pos]
+                self.pos += 1
+                out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}[nxt])
+            elif ch == '"':
+                return "".join(out)
+            else:
+                out.append(ch)
+        raise self.error("unterminated string literal")
+
+    # -- types -----------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        self.skip_ws()
+        if self.accept("("):
+            # Function type: (t, t) -> t | (t) -> (t, t)
+            inputs: List[Type] = []
+            if not self.peek(")"):
+                inputs.append(self.parse_type())
+                while self.accept(","):
+                    inputs.append(self.parse_type())
+            self.expect(")")
+            self.expect("->")
+            results: List[Type] = []
+            if self.accept("("):
+                if not self.peek(")"):
+                    results.append(self.parse_type())
+                    while self.accept(","):
+                        results.append(self.parse_type())
+                self.expect(")")
+            else:
+                results.append(self.parse_type())
+            return FunctionType(tuple(inputs), tuple(results))
+        if self.accept("!dfg.stream<"):
+            element = self.parse_type()
+            self.expect(">")
+            return StreamType(element)
+        if self.accept("!base2.fixed<"):
+            int_bits = int(self.match(_NUMBER) or "")
+            self.expect(",")
+            frac_bits = int(self.match(_NUMBER) or "")
+            self.expect(",")
+            word = self.match(_IDENT)
+            self.expect(">")
+            return FixedPointType(int_bits, frac_bits, word == "signed")
+        if self.accept("!base2.posit<"):
+            nbits = int(self.match(_NUMBER) or "")
+            self.expect(",")
+            es = int(self.match(_NUMBER) or "")
+            self.expect(">")
+            return PositType(nbits, es)
+        word = self.match(_IDENT)
+        if word is None:
+            raise self.error("expected a type")
+        if word == "index":
+            return IndexType()
+        if word == "none":
+            return NoneOpType()
+        if word in ("f16", "f32", "f64"):
+            return FloatType(int(word[1:]))
+        if word == "bf16":
+            return FloatType(16, brain=True)
+        if re.fullmatch(r"i\d+", word):
+            return IntegerType(int(word[1:]))
+        if re.fullmatch(r"ui\d+", word):
+            return IntegerType(int(word[2:]), signed=False)
+        if word == "tensor":
+            shape, element = self._parse_shaped_body(allow_space=False)
+            return TensorType(shape, element)
+        if word == "memref":
+            shape, element, space = self._parse_shaped_body(allow_space=True)
+            return MemRefType(shape, element, space)
+        raise self.error(f"unknown type: {word!r}")
+
+    def _parse_shaped_body(self, allow_space: bool):
+        """Parse ``<4x?xf64[, "space"]>`` after tensor/memref."""
+        self.expect("<")
+        shape: List[Optional[int]] = []
+        while True:
+            save = self.pos
+            self.skip_ws()
+            if self.accept("?"):
+                self.expect("x")
+                shape.append(None)
+                continue
+            dim = self.match(_NUMBER)
+            if dim is not None and self.text.startswith("x", self.pos):
+                self.pos += 1
+                shape.append(int(dim))
+                continue
+            self.pos = save
+            break
+        element = self.parse_type()
+        space = ""
+        if allow_space and self.accept(","):
+            space = self.parse_string_literal()
+        self.expect(">")
+        if allow_space:
+            return tuple(shape), element, space
+        return tuple(shape), element
+
+    # -- attributes --------------------------------------------------------------
+
+    def parse_attribute(self) -> Attribute:
+        self.skip_ws()
+        ch = self.text[self.pos : self.pos + 1]
+        if ch == '"':
+            return StrAttr(self.parse_string_literal())
+        if ch == "@":
+            self.pos += 1
+            name = self.match(_IDENT)
+            if name is None:
+                raise self.error("expected symbol name after '@'")
+            return SymbolRefAttr(name)
+        if ch == "[":
+            self.pos += 1
+            elements: List[Attribute] = []
+            if not self.peek("]"):
+                elements.append(self.parse_attribute())
+                while self.accept(","):
+                    elements.append(self.parse_attribute())
+            self.expect("]")
+            return ArrayAttr(elements)
+        if ch == "{":
+            self.pos += 1
+            entries: Dict[str, Attribute] = {}
+            if not self.peek("}"):
+                while True:
+                    key = self.match(_IDENT)
+                    if key is None:
+                        raise self.error("expected attribute name")
+                    self.expect("=")
+                    entries[key] = self.parse_attribute()
+                    if not self.accept(","):
+                        break
+            self.expect("}")
+            return DictAttr(entries)
+        for keyword, value in (("true", True), ("false", False)):
+            if self._accept_word(keyword):
+                return BoolAttr(value)
+        if self._accept_word("unit"):
+            return UnitAttr()
+        if self._accept_word("dense"):
+            return self._parse_dense()
+        for keyword, value in (("inf", float("inf")), ("-inf", float("-inf")),
+                               ("nan", float("nan"))):
+            if self._accept_word(keyword):
+                return self._finish_float(value)
+        number = self.match(_NUMBER)
+        if number is not None:
+            if "." in number or "e" in number or "E" in number:
+                return self._finish_float(float(number))
+            value = int(number)
+            ty: Type = IntegerType(64)
+            if self.accept(":"):
+                ty = self.parse_type()
+            return IntAttr(value, ty)
+        # Fall through: a type attribute.
+        return TypeAttr(self.parse_type())
+
+    def _accept_word(self, word: str) -> bool:
+        self.skip_ws()
+        end = self.pos + len(word)
+        if not self.text.startswith(word, self.pos):
+            return False
+        nxt = self.text[end : end + 1]
+        if nxt and (nxt.isalnum() or nxt in "_."):
+            return False
+        self.pos = end
+        return True
+
+    def _finish_float(self, value: float) -> FloatAttr:
+        ty: Type = FloatType(64)
+        if self.accept(":"):
+            ty = self.parse_type()
+        return FloatAttr(value, ty)
+
+    def _parse_dense(self) -> DenseAttr:
+        self.expect("<")
+        self.expect("[")
+        raw: List = []
+        if not self.peek("]"):
+            while True:
+                if self._accept_word("true"):
+                    raw.append(True)
+                elif self._accept_word("false"):
+                    raw.append(False)
+                else:
+                    number = self.match(_NUMBER)
+                    if number is None:
+                        raise self.error("expected dense element")
+                    if "." in number or "e" in number or "E" in number:
+                        raw.append(float(number))
+                    else:
+                        raw.append(int(number))
+                if not self.accept(","):
+                    break
+        self.expect("]")
+        self.expect(">")
+        self.expect(":")
+        ty = self.parse_type()
+        if not isinstance(ty, TensorType):
+            raise self.error("dense attribute requires a tensor type")
+        if raw and isinstance(raw[0], bool):
+            dtype = np.bool_
+        elif any(isinstance(x, float) for x in raw):
+            dtype = np.float64
+        else:
+            dtype = np.int64
+        array = np.array(raw, dtype=dtype).reshape(
+            tuple(d if d is not None else -1 for d in ty.shape)
+        )
+        return DenseAttr(array, ty)
+
+    # -- operations -----------------------------------------------------------
+
+    def parse_value_use(self) -> Value:
+        self.skip_ws()
+        m = _VALUE_REF.match(self.text, self.pos)
+        if m is None:
+            raise self.error("expected value reference")
+        self.pos = m.end()
+        key = m.group(0)
+        if key not in self.values:
+            raise self.error(f"use of undefined value {key}")
+        return self.values[key]
+
+    def parse_operation(self) -> Operation:
+        """Parse one generic operation (optionally with bound results)."""
+        self.skip_ws()
+        result_base: Optional[str] = None
+        num_results = 0
+        if self.peek("%"):
+            m = _VALUE_REF.match(self.text, self.pos)
+            if m is None or m.group(2) is not None:
+                raise self.error("malformed result binding")
+            self.pos = m.end()
+            result_base = m.group(0)
+            num_results = 1
+            if self.accept(":"):
+                count = self.match(_NUMBER)
+                if count is None:
+                    raise self.error("expected result count")
+                num_results = int(count)
+            self.expect("=")
+        name = self.parse_string_literal()
+        self.expect("(")
+        operands: List[Value] = []
+        if not self.peek(")"):
+            operands.append(self.parse_value_use())
+            while self.accept(","):
+                operands.append(self.parse_value_use())
+        self.expect(")")
+        regions: List[Region] = []
+        save = self.pos
+        if self.accept("("):
+            if self.peek("{"):
+                regions.append(self.parse_region())
+                while self.accept(","):
+                    regions.append(self.parse_region())
+                self.expect(")")
+            else:
+                self.pos = save  # it was the signature's '(' — rewind
+        attributes: Dict[str, Attribute] = {}
+        if self.peek("{"):
+            attr_dict = self.parse_attribute()
+            assert isinstance(attr_dict, DictAttr)
+            attributes = attr_dict.as_dict()
+        self.expect(":")
+        signature = self.parse_type()
+        if not isinstance(signature, FunctionType):
+            raise self.error("expected an operation signature type")
+        if len(signature.inputs) != len(operands):
+            raise self.error(
+                f"signature arity {len(signature.inputs)} does not match "
+                f"{len(operands)} operands"
+            )
+        op = Operation(name, operands, list(signature.results), attributes, regions)
+        if result_base is not None:
+            if num_results != len(op.results):
+                raise self.error("result count does not match signature")
+            if num_results == 1:
+                self.values[result_base] = op.results[0]
+            else:
+                for i, result in enumerate(op.results):
+                    self.values[f"{result_base}#{i}"] = result
+        return op
+
+    def parse_region(self) -> Region:
+        self.expect("{")
+        region = Region()
+        while not self.peek("}"):
+            if self.peek("^"):
+                block = self._parse_block_header()
+            else:
+                block = Block()
+            region.add_block(block)
+            while not self.peek("}") and not self.peek("^"):
+                block.append(self.parse_operation())
+        self.expect("}")
+        if not region.blocks:
+            region.add_block(Block())
+        return region
+
+    def _parse_block_header(self) -> Block:
+        self.expect("^")
+        label = self.match(_IDENT)
+        if label is None:
+            raise self.error("expected block label")
+        block = Block()
+        if self.accept("("):
+            if not self.peek(")"):
+                while True:
+                    self.skip_ws()
+                    m = _VALUE_REF.match(self.text, self.pos)
+                    if m is None or m.group(2) is not None:
+                        raise self.error("expected block argument name")
+                    self.pos = m.end()
+                    arg_name = m.group(0)
+                    self.expect(":")
+                    arg = block.add_argument(self.parse_type())
+                    self.values[arg_name] = arg
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+        self.expect(":")
+        return block
+
+
+def parse_module(text: str) -> Module:
+    """Parse a printed module back into IR."""
+    parser = Parser(text)
+    op = parser.parse_operation()
+    if op.name != "builtin.module":
+        raise parser.error(f"expected builtin.module, got {op.name}")
+    if not parser.at_end():
+        raise parser.error("trailing input after module")
+    module = Module.__new__(Module)
+    module.op = op
+    return module
+
+
+def parse_type(text: str) -> Type:
+    """Parse a standalone type, e.g. ``tensor<4x?xf64>``."""
+    parser = Parser(text)
+    ty = parser.parse_type()
+    if not parser.at_end():
+        raise parser.error("trailing input after type")
+    return ty

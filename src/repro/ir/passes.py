@@ -1,0 +1,215 @@
+"""Pass infrastructure: passes, pipelines and a greedy rewrite driver.
+
+Passes transform a :class:`~repro.ir.core.Module` in place.  The
+:class:`PassManager` runs a pipeline, optionally verifying between passes,
+and records per-pass wall time (surfaced by ``basecamp compile -v``).
+
+:class:`RewritePattern` plus :func:`apply_patterns` implement MLIR's greedy
+pattern-rewrite driver: patterns are applied to every op repeatedly until a
+fixpoint (or an iteration cap) is reached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.builder import Builder
+from repro.ir.core import Module, Operation, Value
+from repro.ir.dialect import REGISTRY
+
+
+class Pass:
+    """Base class: subclasses set ``name`` and implement :meth:`run`."""
+
+    name = "<unnamed>"
+
+    def run(self, module: Module) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"
+
+
+class FunctionPass(Pass):
+    """Runs :meth:`run_on_func` on every ``*.func`` op in the module."""
+
+    def run(self, module: Module) -> None:
+        for op in list(module.body):
+            if op.opname == "func":
+                self.run_on_func(op)
+
+    def run_on_func(self, func: Operation) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class LambdaPass(Pass):
+    """Wrap a plain callable as a pass."""
+
+    def __init__(self, name: str, fn: Callable[[Module], None]):
+        self.name = name
+        self._fn = fn
+
+    def run(self, module: Module) -> None:
+        self._fn(module)
+
+
+class PassManager:
+    """Runs a pipeline of passes with optional inter-pass verification."""
+
+    def __init__(self, verify_each: bool = True):
+        self.passes: List[Pass] = []
+        self.verify_each = verify_each
+        self.timings: List[Tuple[str, float]] = []
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> None:
+        from repro.ir.verifier import verify
+
+        self.timings = []
+        for pass_ in self.passes:
+            started = time.perf_counter()
+            pass_.run(module)
+            self.timings.append((pass_.name, time.perf_counter() - started))
+            if self.verify_each:
+                verify(module)
+
+    def report(self) -> str:
+        lines = ["pass pipeline timing:"]
+        for name, seconds in self.timings:
+            lines.append(f"  {name:<40s} {seconds * 1e3:8.3f} ms")
+        return "\n".join(lines)
+
+
+# -- greedy pattern rewriting ---------------------------------------------------
+
+
+class PatternRewriter:
+    """Mutation interface handed to patterns; records whether IR changed."""
+
+    def __init__(self) -> None:
+        self.changed = False
+
+    def builder_before(self, op: Operation) -> Builder:
+        return Builder.before(op)
+
+    def replace_op(self, op: Operation, new_values: Sequence[Value]) -> None:
+        """Replace all results of ``op`` with ``new_values`` and erase it."""
+        if len(new_values) != len(op.results):
+            raise IRError(
+                f"replace_op: {len(new_values)} values for "
+                f"{len(op.results)} results"
+            )
+        for result, value in zip(op.results, new_values):
+            result.replace_all_uses_with(value)
+        op.erase()
+        self.changed = True
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.changed = True
+
+    def notify_changed(self) -> None:
+        self.changed = True
+
+
+class RewritePattern:
+    """One rewrite; ``match_and_rewrite`` returns True when it fired."""
+
+    # Restrict to a specific op name, or None to try every op.
+    op_name: Optional[str] = None
+
+    def match_and_rewrite(
+        self, op: Operation, rewriter: PatternRewriter
+    ) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def apply_patterns(
+    module: Module,
+    patterns: Iterable[RewritePattern],
+    max_iterations: int = 32,
+) -> bool:
+    """Greedy driver: apply ``patterns`` until fixpoint.
+
+    Returns True when any pattern fired.  Patterns must be confluent enough
+    to converge within ``max_iterations`` sweeps; exceeding the cap raises.
+    """
+    patterns = list(patterns)
+    changed_ever = False
+    for _ in range(max_iterations):
+        rewriter = PatternRewriter()
+        for op in list(module.walk()):
+            if op.parent is None and op is not module.op:
+                continue  # already erased during this sweep
+            for pattern in patterns:
+                if pattern.op_name is not None and op.name != pattern.op_name:
+                    continue
+                if pattern.match_and_rewrite(op, rewriter):
+                    break
+        if not rewriter.changed:
+            return changed_ever
+        changed_ever = True
+    raise IRError(f"pattern application did not converge in {max_iterations} sweeps")
+
+
+# -- stock passes ----------------------------------------------------------------
+
+
+def _is_pure(op: Operation) -> bool:
+    opdef = REGISTRY.opdef_for(op)
+    return opdef is not None and "pure" in opdef.traits
+
+
+class DeadCodeElimination(Pass):
+    """Erase pure ops whose results are all unused (iteratively)."""
+
+    name = "dce"
+
+    def run(self, module: Module) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(module.walk()):
+                if op is module.op or op.parent is None:
+                    continue
+                if not op.results or any(r.has_uses for r in op.results):
+                    continue
+                if _is_pure(op):
+                    op.erase()
+                    changed = True
+
+
+class CommonSubexpressionElimination(Pass):
+    """Deduplicate identical pure ops within each block (no regions)."""
+
+    name = "cse"
+
+    def run(self, module: Module) -> None:
+        for op in module.walk():
+            for region in op.regions:
+                for block in region.blocks:
+                    self._run_on_block(block)
+
+    def _run_on_block(self, block) -> None:
+        seen = {}
+        for op in list(block.operations):
+            if op.regions or not _is_pure(op):
+                continue
+            key = (
+                op.name,
+                tuple(id(v) for v in op.operands),
+                tuple(sorted((k, str(v)) for k, v in op.attributes.items())),
+                tuple(str(r.type) for r in op.results),
+            )
+            if key in seen:
+                earlier = seen[key]
+                for old, new in zip(op.results, earlier.results):
+                    old.replace_all_uses_with(new)
+                op.erase()
+            else:
+                seen[key] = op

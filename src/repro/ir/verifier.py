@@ -1,0 +1,61 @@
+"""IR verification: structural well-formedness plus registered op checks.
+
+Checks performed:
+
+* every operand is *visible* at its use (defined earlier in the same block,
+  a block argument, or defined in an enclosing region — the scoping rule
+  used by structured ops such as loops);
+* def-use bookkeeping is consistent;
+* ops whose dialect is registered in the global
+  :data:`repro.ir.dialect.REGISTRY` satisfy their :class:`OpDef`
+  (arity, region count, required attributes, custom verifier);
+* ops carrying the ``terminator`` trait appear only at the end of a block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.errors import IRError
+from repro.ir.core import Module, Operation, Region, Value
+from repro.ir.dialect import REGISTRY, DialectRegistry
+
+
+def verify(module: Module, registry: Optional[DialectRegistry] = None) -> None:
+    """Verify a module; raises :class:`IRError` on the first violation."""
+    registry = registry or REGISTRY
+    _verify_op(module.op, set(), registry)
+
+
+def _verify_op(op: Operation, visible: Set[Value], registry: DialectRegistry) -> None:
+    for idx, operand in enumerate(op.operands):
+        if operand not in visible:
+            raise IRError(
+                f"{op.name}: operand #{idx} is not visible at its use "
+                "(use before def or value from a sibling region)"
+            )
+        if (op, idx) not in operand.uses:
+            raise IRError(f"{op.name}: def-use bookkeeping broken at operand #{idx}")
+    opdef = registry.opdef_for(op)
+    if opdef is not None:
+        opdef.check(op)
+        if "terminator" in opdef.traits and op.parent is not None:
+            if op.parent.operations[-1] is not op:
+                raise IRError(f"{op.name}: terminator is not last in its block")
+    for region in op.regions:
+        _verify_region(region, visible, registry)
+
+
+def _verify_region(
+    region: Region, outer_visible: Set[Value], registry: DialectRegistry
+) -> None:
+    # Values visible inside a region: everything from enclosing regions plus,
+    # conservatively, all defs in earlier blocks of this region (we use
+    # single-block regions nearly everywhere; full dominance analysis is out
+    # of scope).
+    visible = set(outer_visible)
+    for block in region.blocks:
+        visible.update(block.args)
+        for op in block.operations:
+            _verify_op(op, visible, registry)
+            visible.update(op.results)

@@ -1,0 +1,33 @@
+"""Custom data formats (the base2 family): fixed point, posit and small
+floats, with quantization error analysis.
+
+The EVEREST SDK uses these formats to trade accuracy for FPGA resources and
+speed (paper §V-B and the technical highlights).  See
+:func:`repro.numerics.quantize.make_format` for the compact spec syntax.
+"""
+
+from repro.numerics.fixed_point import FixedPointFormat
+from repro.numerics.float_formats import FloatFormat
+from repro.numerics.posit import PositFormat
+from repro.numerics.quantize import (
+    NumberFormat,
+    QuantizationReport,
+    error_report,
+    format_bits,
+    make_format,
+    quantization_sweep,
+    quantize,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "FloatFormat",
+    "PositFormat",
+    "NumberFormat",
+    "QuantizationReport",
+    "error_report",
+    "format_bits",
+    "make_format",
+    "quantization_sweep",
+    "quantize",
+]

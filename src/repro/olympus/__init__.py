@@ -1,0 +1,52 @@
+"""Olympus: system-level FPGA architecture generation (paper §V-C).
+
+Composes the HLS kernel reports with the platform models to generate the
+data-movement infrastructure around accelerators: PLM buffers (optionally
+shared across stages), double buffering, kernel replication over memory
+lanes, Iris-style data packing, and the host driver code.
+"""
+
+from repro.olympus.arch_gen import (
+    ArchConfig,
+    KernelInstance,
+    LatencyBreakdown,
+    OlympusGenerator,
+    SystemArchitecture,
+    lower_dfg_to_olympus,
+    lower_olympus_to_evp,
+)
+from repro.olympus.host_codegen import build_driver, generate_driver_source
+from repro.olympus.packing import (
+    Field,
+    PackedWord,
+    PackingPlan,
+    pack_fields,
+    pack_stream,
+)
+from repro.olympus.plm_sharing import (
+    BufferRequest,
+    PLMAllocation,
+    peak_live_bytes,
+    share_plm,
+)
+
+__all__ = [
+    "ArchConfig",
+    "KernelInstance",
+    "LatencyBreakdown",
+    "OlympusGenerator",
+    "SystemArchitecture",
+    "lower_dfg_to_olympus",
+    "lower_olympus_to_evp",
+    "build_driver",
+    "generate_driver_source",
+    "Field",
+    "PackedWord",
+    "PackingPlan",
+    "pack_fields",
+    "pack_stream",
+    "BufferRequest",
+    "PLMAllocation",
+    "peak_live_bytes",
+    "share_plm",
+]

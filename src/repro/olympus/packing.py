@@ -1,0 +1,117 @@
+"""Iris-style data packing (paper §V-C, Soldavini et al., ASPDAC 2023).
+
+A kernel that streams records over a wide memory bus wastes bandwidth when
+each beat carries a single narrow field.  Packing groups fields into
+bus-width words ("efficient data layouts for high bandwidth utilization"):
+this module implements first-fit-decreasing packing of record fields into
+beats and reports the bus efficiency before/after — the number
+:class:`repro.platforms.memory.MemoryChannelModel` turns into transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import OlympusError
+
+
+@dataclass(frozen=True)
+class Field:
+    """One record field: a name and a bit width."""
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise OlympusError(f"field {self.name!r} has no width")
+
+
+@dataclass
+class PackedWord:
+    """One bus beat: the fields packed into it."""
+
+    fields: List[Field] = field(default_factory=list)
+
+    def used_bits(self) -> int:
+        return sum(f.bits for f in self.fields)
+
+
+@dataclass
+class PackingPlan:
+    """The layout of one record across bus beats."""
+
+    bus_bits: int
+    words: List[PackedWord]
+    naive_words: int
+
+    @property
+    def beats_per_record(self) -> int:
+        return len(self.words)
+
+    @property
+    def payload_bits_per_beat(self) -> float:
+        total = sum(w.used_bits() for w in self.words)
+        return total / len(self.words) if self.words else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.payload_bits_per_beat / self.bus_bits
+
+    @property
+    def naive_efficiency(self) -> float:
+        total = sum(w.used_bits() for w in self.words)
+        return total / (self.naive_words * self.bus_bits) \
+            if self.naive_words else 0.0
+
+    @property
+    def speedup_vs_naive(self) -> float:
+        """Bandwidth gain over one-field-per-beat streaming."""
+        if not self.words:
+            return 1.0
+        return self.naive_words / len(self.words)
+
+
+def pack_fields(fields: Sequence[Field], bus_bits: int = 512) -> PackingPlan:
+    """First-fit-decreasing packing of record fields into bus beats.
+
+    Fields wider than the bus are split across beats (they occupy
+    ``ceil(bits / bus)`` full beats; the remainder participates in packing).
+    """
+    if bus_bits <= 0:
+        raise OlympusError("bus width must be positive")
+    words: List[PackedWord] = []
+    whole_beats = 0
+    leftovers: List[Field] = []
+    for f in fields:
+        if f.bits >= bus_bits:
+            full, rem = divmod(f.bits, bus_bits)
+            whole_beats += full
+            if rem:
+                leftovers.append(Field(f"{f.name}.tail", rem))
+        else:
+            leftovers.append(f)
+    for f in sorted(leftovers, key=lambda x: -x.bits):
+        placed = False
+        for word in words:
+            if word.used_bits() + f.bits <= bus_bits:
+                word.fields.append(f)
+                placed = True
+                break
+        if not placed:
+            words.append(PackedWord([f]))
+    for _ in range(whole_beats):
+        words.append(PackedWord([Field("wide.full", bus_bits)]))
+    naive = len(leftovers) + whole_beats  # one beat per (sub)field
+    return PackingPlan(bus_bits, words, naive)
+
+
+def pack_stream(element_bits: int, bus_bits: int = 512) -> Tuple[int, float]:
+    """Vector packing of a homogeneous stream: elements per beat and
+    efficiency."""
+    if element_bits <= 0:
+        raise OlympusError("element width must be positive")
+    per_beat = max(1, bus_bits // element_bits)
+    efficiency = min(1.0, per_beat * element_bits / bus_bits)
+    return per_beat, efficiency

@@ -1,0 +1,87 @@
+"""Private-local-memory (PLM) sharing across kernel stages.
+
+Implements the optimization of Pilato et al. (TCAD 2017), cited as
+Olympus's "private local memory sharing": buffers whose lifetimes do not
+overlap can occupy the same on-chip memory.  Buffers live over stage
+intervals; a first-fit offset allocator places each buffer at the lowest
+address where it fits against all lifetime-overlapping neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import OlympusError
+
+
+@dataclass(frozen=True)
+class BufferRequest:
+    """A buffer and the [start, end] stage interval during which it lives."""
+
+    name: str
+    bytes: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.bytes <= 0:
+            raise OlympusError(f"buffer {self.name!r} has no size")
+        if self.end < self.start:
+            raise OlympusError(f"buffer {self.name!r}: end before start")
+
+    def overlaps(self, other: "BufferRequest") -> bool:
+        return not (self.end < other.start or other.end < self.start)
+
+
+@dataclass
+class PLMAllocation:
+    """Result of PLM sharing: per-buffer offsets in one shared memory."""
+
+    offsets: Dict[str, int]
+    total_bytes: int
+    unshared_bytes: int
+
+    @property
+    def saving(self) -> float:
+        """Fraction of PLM bytes saved versus dedicated buffers."""
+        if self.unshared_bytes == 0:
+            return 0.0
+        return 1.0 - self.total_bytes / self.unshared_bytes
+
+
+def share_plm(requests: List[BufferRequest]) -> PLMAllocation:
+    """First-fit-decreasing address assignment with lifetime awareness."""
+    placed: List[Tuple[BufferRequest, int]] = []
+    offsets: Dict[str, int] = {}
+    for request in sorted(requests, key=lambda r: -r.bytes):
+        if request.name in offsets:
+            raise OlympusError(f"duplicate buffer name {request.name!r}")
+        # Candidate offsets: 0 and the end of every conflicting placement.
+        conflicts = [
+            (offset, offset + other.bytes)
+            for other, offset in placed if request.overlaps(other)
+        ]
+        conflicts.sort()
+        candidate = 0
+        for lo, hi in conflicts:
+            if candidate + request.bytes <= lo:
+                break
+            candidate = max(candidate, hi)
+        offsets[request.name] = candidate
+        placed.append((request, candidate))
+    total = max((offsets[r.name] + r.bytes for r in requests), default=0)
+    unshared = sum(r.bytes for r in requests)
+    return PLMAllocation(offsets, total, unshared)
+
+
+def peak_live_bytes(requests: List[BufferRequest]) -> int:
+    """Lower bound on shared PLM size: the max over stages of live bytes."""
+    if not requests:
+        return 0
+    last_stage = max(r.end for r in requests)
+    peak = 0
+    for stage in range(last_stage + 1):
+        live = sum(r.bytes for r in requests if r.start <= stage <= r.end)
+        peak = max(peak, live)
+    return peak

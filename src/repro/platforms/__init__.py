@@ -1,0 +1,53 @@
+"""Target platform models (paper §III): devices, memories, networks, XRT.
+
+The EVEREST nodes carry PCIe-attached AMD Alveo cards (u55c, u280, driven
+by an XRT-like API) and network-attached IBM cloudFPGA nodes on a 10 Gb/s
+fabric.  Everything is a timing/resource model — the substitution for real
+hardware documented in DESIGN.md — with a single :class:`SimClock` keeping
+simulated time coherent across the whole SDK.
+"""
+
+from repro.platforms.device import (
+    CATALOG,
+    FPGADevice,
+    MemoryChannelSpec,
+    alveo_u55c,
+    alveo_u280,
+    cloudfpga_node,
+    device_by_name,
+)
+from repro.platforms.memory import (
+    MemoryChannelModel,
+    PCIeModel,
+    PLMConfig,
+    TransferEstimate,
+)
+from repro.platforms.network import LinkModel, ZRLMPIFabric
+from repro.platforms.xrt import (
+    BufferObject,
+    KernelHandle,
+    RunHandle,
+    SimClock,
+    XRTDevice,
+)
+
+__all__ = [
+    "CATALOG",
+    "FPGADevice",
+    "MemoryChannelSpec",
+    "alveo_u55c",
+    "alveo_u280",
+    "cloudfpga_node",
+    "device_by_name",
+    "MemoryChannelModel",
+    "PCIeModel",
+    "PLMConfig",
+    "TransferEstimate",
+    "LinkModel",
+    "ZRLMPIFabric",
+    "BufferObject",
+    "KernelHandle",
+    "RunHandle",
+    "SimClock",
+    "XRTDevice",
+]

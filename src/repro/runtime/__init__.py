@@ -1,0 +1,48 @@
+"""The EVEREST virtualized runtime environment (paper §VI).
+
+* :mod:`repro.runtime.cluster` — heterogeneous nodes (CPU + FPGA) and the
+  data-center network;
+* :mod:`repro.runtime.taskgraph` — the Dask-like API with EVEREST resource
+  requests and kernel fine-tuning;
+* :mod:`repro.runtime.scheduler` — the resource manager: HEFT scheduling,
+  load balancing, data transfers, failure rescheduling;
+* :mod:`repro.runtime.monitor` — cluster monitoring;
+* :mod:`repro.runtime.virtualization` — QEMU-KVM/libvirt/SR-IOV models.
+"""
+
+from repro.runtime.cluster import Cluster, Node, default_cluster
+from repro.runtime.monitor import ClusterMonitor, UtilizationReport
+from repro.runtime.scheduler import (
+    HEFTScheduler,
+    Placement,
+    RoundRobinScheduler,
+    ScheduleResult,
+    reschedule_after_failure,
+)
+from repro.runtime.taskgraph import (
+    EverestClient,
+    Future,
+    ResourceRequest,
+    Task,
+    TaskGraph,
+    delayed,
+)
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "default_cluster",
+    "ClusterMonitor",
+    "UtilizationReport",
+    "HEFTScheduler",
+    "RoundRobinScheduler",
+    "Placement",
+    "ScheduleResult",
+    "reschedule_after_failure",
+    "EverestClient",
+    "Future",
+    "ResourceRequest",
+    "Task",
+    "TaskGraph",
+    "delayed",
+]

@@ -1,0 +1,324 @@
+"""The EVEREST resource manager: task scheduling on the cluster (§VI-A).
+
+Responsibilities from the paper: "(1) schedules and assigns the workflow
+tasks to the computational nodes while respecting their dependencies and
+resource requests; (2) load-balances the computation when necessary; (3)
+performs data transfers when an input of a task is computed on a different
+node; (4) monitors the cluster and reschedules tasks if needed."
+
+Two schedulers are provided: :class:`HEFTScheduler` (upward-rank list
+scheduling with earliest-finish-time placement — the production policy) and
+:class:`RoundRobinScheduler` (the baseline the scheduling benchmark
+compares against).  :func:`reschedule_after_failure` implements (4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RuntimeSchedulingError
+from repro.runtime.cluster import Cluster, Node
+from repro.runtime.taskgraph import Task, TaskGraph
+
+
+@dataclass
+class Placement:
+    """Where and when one task runs."""
+
+    task_id: int
+    node: str
+    start: float
+    finish: float
+    cores: int = 1
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def core_seconds(self) -> float:
+        return self.duration * self.cores
+
+
+@dataclass
+class ScheduleResult:
+    """A complete schedule of a task graph on a cluster."""
+
+    placements: Dict[int, Placement] = field(default_factory=dict)
+    transfers_seconds: float = 0.0
+    rescheduled_tasks: int = 0
+
+    @property
+    def makespan(self) -> float:
+        return max((p.finish for p in self.placements.values()), default=0.0)
+
+    def node_busy_seconds(self) -> Dict[str, float]:
+        busy: Dict[str, float] = {}
+        for placement in self.placements.values():
+            busy[placement.node] = busy.get(placement.node, 0.0) \
+                + placement.duration
+        return busy
+
+    def load_balance(self) -> float:
+        """Max/mean busy-time ratio (1.0 = perfectly balanced)."""
+        busy = list(self.node_busy_seconds().values())
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean else 1.0
+
+
+def _task_runtime(task: Task, node: Node) -> float:
+    """Execution time of a task on a node, honouring resource requests."""
+    if task.resources.fpga:
+        if not node.has_fpga:
+            return float("inf")
+        # Overheads of the virtualized access path (Fig. 6).
+        from repro.runtime.virtualization import SRIOV_OVERHEAD
+
+        return task.resources.fpga_seconds * SRIOV_OVERHEAD
+    return task.runtime_on_cpu(node)
+
+
+class _NodeTimeline:
+    """Core-capacity-aware placement onto one node."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.intervals: List[Tuple[float, float, int]] = []
+
+    def _usage_at(self, t0: float, t1: float) -> int:
+        peak = 0
+        points = {t0}
+        for s, e, c in self.intervals:
+            if s < t1 and e > t0:
+                points.add(max(s, t0))
+        for point in points:
+            used = sum(c for s, e, c in self.intervals
+                       if s <= point < e)
+            peak = max(peak, used)
+        return peak
+
+    def earliest_start(self, ready: float, duration: float,
+                       cores: int) -> float:
+        candidates = sorted({ready} | {
+            e for _, e, _ in self.intervals if e > ready
+        })
+        for candidate in candidates:
+            if self._usage_at(candidate, candidate + duration) + cores \
+                    <= self.node.cores:
+                return candidate
+        return candidates[-1] if candidates else ready
+
+    def commit(self, start: float, duration: float, cores: int) -> None:
+        self.intervals.append((start, start + duration, cores))
+
+
+class HEFTScheduler:
+    """Heterogeneous-Earliest-Finish-Time list scheduling."""
+
+    def schedule(self, graph: TaskGraph, cluster: Cluster,
+                 ready_overrides: Optional[Dict[int, float]] = None
+                 ) -> ScheduleResult:
+        nodes = cluster.alive_nodes()
+        if not nodes:
+            raise RuntimeSchedulingError("no alive nodes")
+        tasks = graph.topological_order()
+        ranks = self._upward_ranks(graph, cluster, tasks)
+        order = sorted(tasks, key=lambda t: -ranks[t.task_id])
+        # Respect dependencies: stable-sort by rank but never before deps.
+        order = self._dependency_respecting(order, graph)
+        timelines = {n.name: _NodeTimeline(n) for n in nodes}
+        result = ScheduleResult()
+        for task in order:
+            best: Optional[Placement] = None
+            for node in nodes:
+                runtime = _task_runtime(task, node)
+                if runtime == float("inf"):
+                    continue
+                ready = (ready_overrides or {}).get(task.task_id, 0.0)
+                comm = 0.0
+                for dep in task.deps:
+                    dep_placement = result.placements[dep]
+                    transfer = cluster.transfer_seconds(
+                        dep_placement.node, node.name,
+                        graph.tasks[dep].output_bytes,
+                    )
+                    comm += transfer
+                    ready = max(ready, dep_placement.finish + transfer)
+                start = timelines[node.name].earliest_start(
+                    ready, runtime, task.resources.cores
+                )
+                candidate = Placement(task.task_id, node.name, start,
+                                      start + runtime,
+                                      task.resources.cores)
+                if best is None or candidate.finish < best.finish:
+                    best = candidate
+                    best_comm = comm
+            if best is None:
+                raise RuntimeSchedulingError(
+                    f"task {task.name!r} requires an FPGA but no alive "
+                    "node has one"
+                )
+            timelines[best.node].commit(best.start, best.duration,
+                                        task.resources.cores)
+            result.placements[task.task_id] = best
+            result.transfers_seconds += best_comm
+        return result
+
+    def _upward_ranks(self, graph: TaskGraph, cluster: Cluster,
+                      tasks: List[Task]) -> Dict[int, float]:
+        nodes = cluster.alive_nodes()
+        avg_runtime = {
+            t.task_id: (sum(r for r in (_task_runtime(t, n) for n in nodes)
+                            if r != float("inf")) or 1e-9)
+            / max(1, sum(1 for n in nodes
+                         if _task_runtime(t, n) != float("inf")))
+            for t in tasks
+        }
+        successors: Dict[int, List[Task]] = {t.task_id: [] for t in tasks}
+        for t in tasks:
+            for dep in t.deps:
+                successors[dep].append(t)
+        ranks: Dict[int, float] = {}
+        for t in reversed(tasks):  # reverse topological order
+            succ_rank = 0.0
+            for succ in successors[t.task_id]:
+                comm = cluster.network.message_seconds(t.output_bytes)
+                succ_rank = max(succ_rank, ranks[succ.task_id] + comm)
+            ranks[t.task_id] = avg_runtime[t.task_id] + succ_rank
+        return ranks
+
+    @staticmethod
+    def _dependency_respecting(order: List[Task],
+                               graph: TaskGraph) -> List[Task]:
+        emitted: set = set()
+        result: List[Task] = []
+        pending = list(order)
+        while pending:
+            progressed = False
+            for task in list(pending):
+                if all(dep in emitted for dep in task.deps):
+                    result.append(task)
+                    emitted.add(task.task_id)
+                    pending.remove(task)
+                    progressed = True
+            if not progressed:
+                raise RuntimeSchedulingError("cycle in task graph")
+        return result
+
+
+class RoundRobinScheduler:
+    """The naive baseline: assign tasks to nodes in rotation."""
+
+    def schedule(self, graph: TaskGraph, cluster: Cluster,
+                 ready_overrides: Optional[Dict[int, float]] = None
+                 ) -> ScheduleResult:
+        nodes = cluster.alive_nodes()
+        timelines = {n.name: _NodeTimeline(n) for n in nodes}
+        result = ScheduleResult()
+        index = 0
+        for task in graph.topological_order():
+            attempts = 0
+            while True:
+                node = nodes[index % len(nodes)]
+                index += 1
+                attempts += 1
+                runtime = _task_runtime(task, node)
+                if runtime != float("inf"):
+                    break
+                if attempts > len(nodes):
+                    raise RuntimeSchedulingError(
+                        f"task {task.name!r} cannot run anywhere"
+                    )
+            ready = (ready_overrides or {}).get(task.task_id, 0.0)
+            for dep in task.deps:
+                dep_placement = result.placements[dep]
+                transfer = cluster.transfer_seconds(
+                    dep_placement.node, node.name,
+                    graph.tasks[dep].output_bytes,
+                )
+                ready = max(ready, dep_placement.finish + transfer)
+                result.transfers_seconds += transfer
+            start = timelines[node.name].earliest_start(
+                ready, runtime, task.resources.cores
+            )
+            timelines[node.name].commit(start, runtime,
+                                        task.resources.cores)
+            result.placements[task.task_id] = Placement(
+                task.task_id, node.name, start, start + runtime,
+                task.resources.cores
+            )
+        return result
+
+
+def reschedule_after_failure(graph: TaskGraph, cluster: Cluster,
+                             schedule: ScheduleResult, failed_node: str,
+                             failure_time: float,
+                             scheduler: Optional[HEFTScheduler] = None
+                             ) -> ScheduleResult:
+    """Monitoring reaction (§VI-A item 4): re-place work lost to a failure.
+
+    Tasks that *finished* on the failed node before the failure keep their
+    results; unfinished or future tasks on that node — and everything
+    transitively depending on lost outputs — are rescheduled on the
+    surviving nodes, no earlier than the failure time.
+    """
+    scheduler = scheduler or HEFTScheduler()
+    cluster.fail_node(failed_node)
+    try:
+        lost: set = set()
+        for task_id, placement in schedule.placements.items():
+            if placement.node == failed_node \
+                    and placement.finish > failure_time:
+                lost.add(task_id)
+        # Anything depending on a lost task must rerun too.
+        changed = True
+        while changed:
+            changed = False
+            for task in graph.tasks.values():
+                if task.task_id in lost:
+                    continue
+                if any(dep in lost for dep in task.deps):
+                    lost.add(task.task_id)
+                    changed = True
+        survivors = {
+            tid: p for tid, p in schedule.placements.items()
+            if tid not in lost
+        }
+        # Build a subgraph of the lost tasks with ready-time constraints.
+        subgraph = TaskGraph()
+        id_map: Dict[int, int] = {}
+        ready: Dict[int, float] = {}
+        for task in graph.topological_order():
+            if task.task_id not in lost:
+                continue
+            deps = [id_map[d] for d in task.deps if d in lost]
+            future = subgraph.add(task.fn, (), {}, task.resources,
+                                  task.output_bytes, task.tuning, task.name)
+            new_task = subgraph.tasks[future.task_id]
+            new_task.deps = deps
+            id_map[task.task_id] = future.task_id
+            ready_time = failure_time
+            for dep in task.deps:
+                if dep not in lost:
+                    ready_time = max(ready_time, survivors[dep].finish)
+            ready[future.task_id] = ready_time
+        repaired = scheduler.schedule(subgraph, cluster, ready)
+        merged = ScheduleResult(
+            placements=dict(survivors),
+            transfers_seconds=schedule.transfers_seconds
+            + repaired.transfers_seconds,
+            rescheduled_tasks=len(lost),
+        )
+        reverse = {v: k for k, v in id_map.items()}
+        for new_id, placement in repaired.placements.items():
+            original = reverse[new_id]
+            merged.placements[original] = Placement(
+                original, placement.node, placement.start, placement.finish,
+                placement.cores
+            )
+        return merged
+    finally:
+        cluster.restore_node(failed_node)

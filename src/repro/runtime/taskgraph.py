@@ -1,0 +1,202 @@
+"""The Dask-like task API with EVEREST extensions (paper §VI-A).
+
+"The runtime interaction with the target applications is done through a
+Dask-like API, requiring only minimal modifications.  The original Dask API
+is extended with EVEREST-specific features, mainly to specify the resource
+requests and the possibility of kernel fine-tuning."
+
+* :func:`delayed` wraps a function; calling the wrapper builds graph nodes
+  instead of executing;
+* :class:`EverestClient.submit` is the eager-ish entry point returning a
+  :class:`Future`;
+* **resource requests** (:class:`ResourceRequest`) carry core counts, FPGA
+  needs and cost estimates — the EVEREST extension;
+* **kernel fine-tuning** parameters ride along each task and are handed to
+  the autotuner at execution time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import RuntimeSchedulingError
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """EVEREST resource request attached to one task."""
+
+    cores: int = 1
+    fpga: bool = False
+    memory_mb: int = 1024
+    # Cost model inputs: CPU flops, or FPGA kernel time if offloaded.
+    cpu_flops: float = 1e9
+    fpga_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise RuntimeSchedulingError("a task needs at least one core")
+
+
+@dataclass
+class Task:
+    """One node of the task graph."""
+
+    task_id: int
+    name: str
+    fn: Callable
+    args: Tuple[Any, ...]
+    kwargs: Dict[str, Any]
+    deps: List[int]
+    resources: ResourceRequest
+    output_bytes: int = 8192
+    tuning: Dict[str, Any] = field(default_factory=dict)
+
+    def runtime_on_cpu(self, node) -> float:
+        return node.cpu_seconds(self.resources.cpu_flops,
+                                self.resources.cores)
+
+
+class Future:
+    """A handle to a task's eventual result."""
+
+    def __init__(self, graph: "TaskGraph", task_id: int):
+        self._graph = graph
+        self.task_id = task_id
+
+    def result(self):
+        if self.task_id not in self._graph.results:
+            raise RuntimeSchedulingError(
+                "task graph not executed yet; call client.compute() first"
+            )
+        return self._graph.results[self.task_id]
+
+
+class TaskGraph:
+    """A DAG of tasks under construction."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count()
+        self.tasks: Dict[int, Task] = {}
+        self.results: Dict[int, Any] = {}
+
+    def add(self, fn: Callable, args: tuple, kwargs: dict,
+            resources: Optional[ResourceRequest], output_bytes: int,
+            tuning: Optional[dict], name: Optional[str]) -> Future:
+        deps: List[int] = []
+        bound_args = []
+        for arg in args:
+            if isinstance(arg, Future):
+                deps.append(arg.task_id)
+                bound_args.append(arg)
+            else:
+                bound_args.append(arg)
+        task_id = next(self._ids)
+        self.tasks[task_id] = Task(
+            task_id=task_id,
+            name=name or getattr(fn, "__name__", f"task{task_id}"),
+            fn=fn,
+            args=tuple(bound_args),
+            kwargs=dict(kwargs),
+            deps=deps,
+            resources=resources or ResourceRequest(),
+            output_bytes=output_bytes,
+            tuning=dict(tuning or {}),
+        )
+        return Future(self, task_id)
+
+    def topological_order(self) -> List[Task]:
+        order: List[Task] = []
+        visited: Dict[int, int] = {}
+
+        def visit(task_id: int) -> None:
+            state = visited.get(task_id, 0)
+            if state == 1:
+                raise RuntimeSchedulingError("task graph has a cycle")
+            if state == 2:
+                return
+            visited[task_id] = 1
+            for dep in self.tasks[task_id].deps:
+                visit(dep)
+            visited[task_id] = 2
+            order.append(self.tasks[task_id])
+
+        for task_id in list(self.tasks):
+            visit(task_id)
+        return order
+
+    def execute_functionally(self) -> None:
+        """Run every task's Python function (results only, no timing)."""
+        for task in self.topological_order():
+            if task.task_id in self.results:
+                continue
+            args = [
+                self.results[a.task_id] if isinstance(a, Future) else a
+                for a in task.args
+            ]
+            self.results[task.task_id] = task.fn(*args, **task.kwargs)
+
+
+def delayed(fn: Callable = None, *, resources: ResourceRequest = None,
+            output_bytes: int = 8192, tuning: dict = None):
+    """Dask-style ``delayed`` with EVEREST resource/tuning extensions.
+
+    Usage::
+
+        @delayed(resources=ResourceRequest(fpga=True, fpga_seconds=1e-3))
+        def kernel(x): ...
+
+        client = EverestClient(cluster)
+        fut = client.call(kernel, data)
+    """
+
+    def wrap(f: Callable):
+        f._everest_resources = resources
+        f._everest_output_bytes = output_bytes
+        f._everest_tuning = tuning or {}
+        return f
+
+    if fn is not None:
+        return wrap(fn)
+    return wrap
+
+
+class EverestClient:
+    """The application-facing client (the Dask ``Client`` analogue)."""
+
+    def __init__(self, cluster, scheduler=None):
+        from repro.runtime.scheduler import HEFTScheduler
+
+        self.cluster = cluster
+        self.scheduler = scheduler or HEFTScheduler()
+        self.graph = TaskGraph()
+        self.last_schedule = None
+
+    def submit(self, fn: Callable, *args,
+               resources: Optional[ResourceRequest] = None,
+               output_bytes: int = 8192,
+               tuning: Optional[dict] = None,
+               name: Optional[str] = None, **kwargs) -> Future:
+        """Add one task; ``Future`` arguments become dependencies."""
+        resources = resources or getattr(fn, "_everest_resources", None)
+        output_bytes = getattr(fn, "_everest_output_bytes", output_bytes)
+        tuning = tuning or getattr(fn, "_everest_tuning", None)
+        return self.graph.add(fn, args, kwargs, resources, output_bytes,
+                              tuning, name)
+
+    call = submit  # alias matching the delayed() docstring
+
+    def compute(self):
+        """Schedule on the cluster (simulated time) and execute (real
+        results).  Returns the :class:`~repro.runtime.scheduler.ScheduleResult`.
+        """
+        self.last_schedule = self.scheduler.schedule(self.graph, self.cluster)
+        self.graph.execute_functionally()
+        return self.last_schedule
+
+    def gather(self, futures: List[Future]) -> list:
+        if self.last_schedule is None:
+            self.compute()
+        return [f.result() for f in futures]

@@ -1,0 +1,36 @@
+"""Virtualization infrastructure (paper §VI-B, Fig. 6).
+
+QEMU-KVM-style hypervisors host VMs on each physical node; FPGAs are
+exposed through SR-IOV physical/virtual functions; a libvirt-like daemon
+answers resource queries and performs the dynamic VF plug/unplug the
+EVEREST resource allocator requests.
+"""
+
+from repro.runtime.virtualization.hypervisor import (
+    Hypervisor,
+    VirtualMachine,
+    VMState,
+)
+from repro.runtime.virtualization.libvirt import LibvirtDaemon, NodeInfo
+from repro.runtime.virtualization.sriov import (
+    EMULATED_OVERHEAD,
+    SRIOV_OVERHEAD,
+    PhysicalFunction,
+    PlugEvent,
+    VFManager,
+    VirtualFunction,
+)
+
+__all__ = [
+    "Hypervisor",
+    "VirtualMachine",
+    "VMState",
+    "LibvirtDaemon",
+    "NodeInfo",
+    "PhysicalFunction",
+    "VirtualFunction",
+    "VFManager",
+    "PlugEvent",
+    "SRIOV_OVERHEAD",
+    "EMULATED_OVERHEAD",
+]

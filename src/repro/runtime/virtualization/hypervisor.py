@@ -1,0 +1,132 @@
+"""QEMU-KVM-style hypervisor and VM model (paper §VI-B, Fig. 6).
+
+Each physical node runs a hypervisor hosting VMs; VMs access FPGAs through
+SR-IOV VFs at near-native speed (or through emulated I/O, for comparison).
+The ``libvirtd`` agent (:mod:`repro.runtime.virtualization.libvirt`)
+exposes this to the resource manager and the autotuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.errors import VirtualizationError
+from repro.runtime.virtualization.sriov import (
+    EMULATED_OVERHEAD,
+    SRIOV_OVERHEAD,
+    PhysicalFunction,
+    VirtualFunction,
+)
+
+
+class VMState(Enum):
+    DEFINED = "defined"
+    RUNNING = "running"
+    PAUSED = "paused"
+    SHUTOFF = "shutoff"
+
+
+@dataclass
+class VirtualMachine:
+    """A guest VM."""
+
+    name: str
+    vcpus: int
+    memory_mb: int
+    state: VMState = VMState.DEFINED
+    io_mode: str = "sriov"  # 'sriov' | 'emulated'
+    attached_vfs: List[VirtualFunction] = field(default_factory=list)
+
+    def accelerator_overhead(self) -> float:
+        """Execution-time multiplier for FPGA work inside this guest."""
+        if self.io_mode == "sriov":
+            return SRIOV_OVERHEAD
+        return EMULATED_OVERHEAD
+
+    def has_accelerator(self) -> bool:
+        return bool(self.attached_vfs)
+
+
+class Hypervisor:
+    """The per-node QEMU-KVM stand-in."""
+
+    def __init__(self, node_name: str, cores: int, memory_mb: int,
+                 pfs: Optional[List[PhysicalFunction]] = None):
+        self.node_name = node_name
+        self.cores = cores
+        self.memory_mb = memory_mb
+        self.pfs: List[PhysicalFunction] = list(pfs or [])
+        self.vms: Dict[str, VirtualMachine] = {}
+
+    # -- VM lifecycle -------------------------------------------------------------
+
+    def define_vm(self, name: str, vcpus: int, memory_mb: int,
+                  io_mode: str = "sriov") -> VirtualMachine:
+        if name in self.vms:
+            raise VirtualizationError(f"VM {name!r} already defined")
+        committed = sum(vm.vcpus for vm in self.vms.values())
+        if committed + vcpus > self.cores * 2:  # 2x overcommit cap
+            raise VirtualizationError(
+                f"node {self.node_name}: vCPU overcommit limit exceeded"
+            )
+        committed_mem = sum(vm.memory_mb for vm in self.vms.values())
+        if committed_mem + memory_mb > self.memory_mb:
+            raise VirtualizationError(
+                f"node {self.node_name}: out of memory for VM {name!r}"
+            )
+        vm = VirtualMachine(name, vcpus, memory_mb, io_mode=io_mode)
+        self.vms[name] = vm
+        return vm
+
+    def start_vm(self, name: str) -> None:
+        self._vm(name).state = VMState.RUNNING
+
+    def shutdown_vm(self, name: str) -> None:
+        vm = self._vm(name)
+        if vm.attached_vfs:
+            raise VirtualizationError(
+                f"VM {name!r} still holds {len(vm.attached_vfs)} VFs; "
+                "detach them first"
+            )
+        vm.state = VMState.SHUTOFF
+
+    def undefine_vm(self, name: str) -> None:
+        vm = self._vm(name)
+        if vm.state == VMState.RUNNING:
+            raise VirtualizationError(f"VM {name!r} is running")
+        del self.vms[name]
+
+    def _vm(self, name: str) -> VirtualMachine:
+        if name not in self.vms:
+            raise VirtualizationError(
+                f"node {self.node_name}: unknown VM {name!r}"
+            )
+        return self.vms[name]
+
+    # -- device assignment ----------------------------------------------------------
+
+    def attach_vf(self, vm_name: str, vf: VirtualFunction) -> None:
+        vm = self._vm(vm_name)
+        if vf.assigned_vm != vm_name:
+            raise VirtualizationError(
+                f"VF must be plugged to {vm_name!r} by the VF manager first"
+            )
+        vm.attached_vfs.append(vf)
+
+    def detach_vf(self, vm_name: str, vf: VirtualFunction) -> None:
+        vm = self._vm(vm_name)
+        if vf not in vm.attached_vfs:
+            raise VirtualizationError(
+                f"VF not attached to VM {vm_name!r}"
+            )
+        vm.attached_vfs.remove(vf)
+
+    # -- capacity queries -------------------------------------------------------------
+
+    def free_vfs(self) -> int:
+        return sum(len(pf.free_vfs()) for pf in self.pfs)
+
+    def running_vms(self) -> List[VirtualMachine]:
+        return [vm for vm in self.vms.values() if vm.state == VMState.RUNNING]

@@ -1,0 +1,129 @@
+"""A libvirt-like control API over the hypervisor model.
+
+Paper §VI-B: "the autotuner, the runtime manager, and the resource
+allocator can interact with the virtualization infrastructure using
+libvirt.  Thanks to the libvirtd daemon, the node where the hypervisor is
+installed can respond to queries about available resources and the
+system's current status."
+
+The method names mirror the libvirt C/Python API closely enough to read
+naturally (``listAllDomains``, ``getInfo``, ``attachDevice``...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import VirtualizationError
+from repro.runtime.virtualization.hypervisor import (
+    Hypervisor,
+    VirtualMachine,
+    VMState,
+)
+from repro.runtime.virtualization.sriov import VFManager, VirtualFunction
+
+
+@dataclass
+class NodeInfo:
+    """The answer to a libvirt ``getInfo`` query."""
+
+    cores: int
+    memory_mb: int
+    running_vms: int
+    free_vcpus: int
+    free_memory_mb: int
+    total_vfs: int
+    free_vfs: int
+    fpga_models: List[str]
+
+
+class LibvirtDaemon:
+    """The per-node ``libvirtd`` agent."""
+
+    def __init__(self, hypervisor: Hypervisor,
+                 vf_manager: Optional[VFManager] = None):
+        self.hypervisor = hypervisor
+        self.vf_manager = vf_manager or VFManager()
+
+    # -- queries (used by the autotuner and the resource manager) -----------------
+
+    def getInfo(self) -> NodeInfo:
+        hv = self.hypervisor
+        used_vcpus = sum(vm.vcpus for vm in hv.running_vms())
+        used_mem = sum(vm.memory_mb for vm in hv.vms.values())
+        total_vfs = sum(len(pf.vfs) for pf in hv.pfs)
+        return NodeInfo(
+            cores=hv.cores,
+            memory_mb=hv.memory_mb,
+            running_vms=len(hv.running_vms()),
+            free_vcpus=max(0, hv.cores - used_vcpus),
+            free_memory_mb=hv.memory_mb - used_mem,
+            total_vfs=total_vfs,
+            free_vfs=hv.free_vfs(),
+            fpga_models=[pf.device.name for pf in hv.pfs],
+        )
+
+    def listAllDomains(self) -> List[VirtualMachine]:
+        return list(self.hypervisor.vms.values())
+
+    def lookupByName(self, name: str) -> VirtualMachine:
+        return self.hypervisor._vm(name)
+
+    # -- domain lifecycle ------------------------------------------------------------
+
+    def defineXML(self, name: str, vcpus: int, memory_mb: int,
+                  io_mode: str = "sriov") -> VirtualMachine:
+        """Define a domain (the XML is a dict here, mercifully)."""
+        return self.hypervisor.define_vm(name, vcpus, memory_mb, io_mode)
+
+    def create(self, name: str) -> None:
+        self.hypervisor.start_vm(name)
+
+    def shutdown(self, name: str) -> None:
+        self.hypervisor.shutdown_vm(name)
+
+    def undefine(self, name: str) -> None:
+        self.hypervisor.undefine_vm(name)
+
+    # -- device attach/detach (the dynamic plugging mechanism) ------------------------
+
+    def attachDevice(self, vm_name: str, pf_index: int = 0) -> VirtualFunction:
+        """Plug a free VF of the given PF into a running VM."""
+        hv = self.hypervisor
+        if pf_index >= len(hv.pfs):
+            raise VirtualizationError(
+                f"node {hv.node_name}: no PF #{pf_index}"
+            )
+        pf = hv.pfs[pf_index]
+        free = pf.free_vfs()
+        if not free:
+            raise VirtualizationError(
+                f"node {hv.node_name}: PF{pf.pf_id} has no free VFs"
+            )
+        vf = free[0]
+        self.vf_manager.plug(vf, vm_name)
+        hv.attach_vf(vm_name, vf)
+        return vf
+
+    def detachDevice(self, vm_name: str, vf: VirtualFunction) -> None:
+        self.hypervisor.detach_vf(vm_name, vf)
+        self.vf_manager.unplug(vf)
+
+    def satisfy_demands(self, demands: Dict[str, int]) -> int:
+        """Resource-allocator entry point: rebalance VFs to match demand.
+
+        Returns the number of plug/unplug actions performed.  VMs' attached
+        VF lists are kept in sync with the manager's assignment.
+        """
+        hv = self.hypervisor
+        actions = self.vf_manager.rebalance(hv.pfs, demands)
+        # Sync VM attachment lists with the new assignment.
+        assigned: Dict[str, List[VirtualFunction]] = {}
+        for pf in hv.pfs:
+            for vf in pf.vfs:
+                if vf.assigned_vm:
+                    assigned.setdefault(vf.assigned_vm, []).append(vf)
+        for vm in hv.vms.values():
+            vm.attached_vfs = assigned.get(vm.name, [])
+        return len(actions)

@@ -1,0 +1,171 @@
+"""A reference interpreter for lowered ``affine`` functions.
+
+Executes the loop nests produced by :mod:`repro.tensorpipe.lower_teil`
+directly over numpy buffers.  It exists to *cross-validate the compilation
+pipeline*: the EKL interpreter (language semantics) and this interpreter
+(compiled semantics) must agree bit-for-bit on float64 — a property the
+test suite checks on every kernel, including the paper's Fig. 3 listing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.errors import EverestError
+from repro.ir import Module, Operation, Value, types as T
+
+_BINOPS = {
+    "arith.addf": lambda a, b: a + b,
+    "arith.subf": lambda a, b: a - b,
+    "arith.mulf": lambda a, b: a * b,
+    "arith.divf": lambda a, b: a / b,
+    "arith.maximumf": max,
+    "arith.minimumf": min,
+    "arith.powf": lambda a, b: a**b,
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.divsi": lambda a, b: int(a) // int(b),
+    "arith.maxsi": max,
+    "arith.minsi": min,
+    "arith.remsi": lambda a, b: int(a) % int(b),
+}
+
+_CMPS = {"le": lambda a, b: a <= b, "lt": lambda a, b: a < b,
+         "ge": lambda a, b: a >= b, "gt": lambda a, b: a > b,
+         "eq": lambda a, b: a == b, "ne": lambda a, b: a != b}
+
+_MATH = {"math.exp": math.exp, "math.log": math.log, "math.sqrt": math.sqrt,
+         "math.sin": math.sin, "math.cos": math.cos, "math.tanh": math.tanh,
+         "math.abs": abs}
+
+_NUMPY_DTYPES = {
+    "f64": np.float64, "f32": np.float32, "i64": np.int64, "i32": np.int32,
+    "i1": np.bool_, "index": np.int64,
+}
+
+
+def _dtype_for(ty: T.Type):
+    return _NUMPY_DTYPES.get(str(ty), np.float64)
+
+
+class AffineInterpreter:
+    """Executes one lowered affine function over numpy inputs."""
+
+    def __init__(self, module: Module, func_name: str):
+        self.func = module.lookup(func_name)
+        if self.func.attr("kernel_lang") != "affine":
+            raise EverestError(f"{func_name} is not an affine-level function")
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run the function; returns the output buffers by name."""
+        entry = self.func.regions[0].entry
+        arg_names: List[str] = self.func.attr("arg_names")
+        num_outputs: int = self.func.attr("num_outputs")
+        env: Dict[Value, object] = {}
+        buffers: Dict[str, np.ndarray] = {}
+        for i, arg in enumerate(entry.args):
+            name = arg_names[i]
+            ref = arg.type
+            assert isinstance(ref, T.MemRefType)
+            dtype = _dtype_for(ref.element)
+            if i < len(entry.args) - num_outputs:
+                if name not in inputs:
+                    raise EverestError(f"missing input {name!r}")
+                array = np.asarray(inputs[name], dtype=dtype)
+                if tuple(array.shape) != tuple(ref.shape):
+                    raise EverestError(
+                        f"input {name!r}: expected {ref.shape}, "
+                        f"got {array.shape}"
+                    )
+                buffer = array.copy()
+            else:
+                buffer = np.zeros(ref.shape, dtype=dtype)
+            env[arg] = buffer
+            buffers[name] = buffer
+        self._run_block(entry, env)
+        return {name: buffers[name]
+                for name in arg_names[len(entry.args) - num_outputs:]}
+
+    # -- execution ------------------------------------------------------------
+
+    def _run_block(self, block, env: Dict[Value, object]) -> None:
+        for op in block.operations:
+            self._run_op(op, env)
+
+    def _run_op(self, op: Operation, env: Dict[Value, object]) -> None:
+        name = op.name
+        if name == "affine.for":
+            lower, upper, step = op.attr("lower"), op.attr("upper"), \
+                op.attr("step")
+            body = op.regions[0].entry
+            for iv in range(lower, upper, step):
+                env[body.args[0]] = iv
+                self._run_block(body, env)
+            return
+        if name in ("affine.yield", "func.return"):
+            return
+        if name == "memref.alloc":
+            ref = op.results[0].type
+            env[op.results[0]] = np.zeros(ref.shape, _dtype_for(ref.element))
+            return
+        if name == "memref.load":
+            buffer = env[op.operands[0]]
+            indices = tuple(int(env[o]) for o in op.operands[1:])
+            env[op.results[0]] = buffer[indices] if indices else buffer[()]
+            return
+        if name == "memref.store":
+            value = env[op.operands[0]]
+            buffer = env[op.operands[1]]
+            indices = tuple(int(env[o]) for o in op.operands[2:])
+            if indices:
+                buffer[indices] = value
+            else:
+                buffer[()] = value
+            return
+        if name == "memref.copy":
+            src = env[op.operands[0]]
+            dst = env[op.operands[1]]
+            np.copyto(dst, src)
+            return
+        if name == "arith.constant":
+            env[op.results[0]] = op.attr("value")
+            return
+        if name in _BINOPS:
+            a, b = env[op.operands[0]], env[op.operands[1]]
+            env[op.results[0]] = _BINOPS[name](a, b)
+            return
+        if name in ("arith.cmpf", "arith.cmpi"):
+            a, b = env[op.operands[0]], env[op.operands[1]]
+            env[op.results[0]] = _CMPS[op.attr("predicate")](a, b)
+            return
+        if name == "arith.select":
+            cond = env[op.operands[0]]
+            env[op.results[0]] = env[op.operands[1]] if cond \
+                else env[op.operands[2]]
+            return
+        if name in ("arith.index_cast", "arith.sitofp", "arith.fptosi",
+                    "arith.truncf", "arith.extf"):
+            value = env[op.operands[0]]
+            if name == "arith.fptosi":
+                value = int(value)
+            elif name == "arith.sitofp":
+                value = float(value)
+            env[op.results[0]] = value
+            return
+        if name == "arith.negf":
+            env[op.results[0]] = -env[op.operands[0]]
+            return
+        if name in _MATH:
+            env[op.results[0]] = _MATH[name](env[op.operands[0]])
+            return
+        raise EverestError(f"affine interpreter: unhandled op {name}")
+
+
+def run_affine(module: Module, func_name: str,
+               inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Convenience wrapper around :class:`AffineInterpreter`."""
+    return AffineInterpreter(module, func_name).run(inputs)

@@ -1,0 +1,17 @@
+"""Workflow deployment (LEXIS role) and API-based microservices (§III/IV)."""
+
+from repro.workflows.lexis import (
+    LexisPlatform,
+    WorkflowSpec,
+    WorkflowTask,
+)
+from repro.workflows.microservices import MicroserviceRegistry, Request, Response
+
+__all__ = [
+    "LexisPlatform",
+    "WorkflowSpec",
+    "WorkflowTask",
+    "MicroserviceRegistry",
+    "Request",
+    "Response",
+]

@@ -1,0 +1,109 @@
+"""LEXIS-style workflow deployment (paper §IV "Deployment").
+
+"The deployment of the application workflows leverages the LEXIS platform,
+which has been extended to offload the execution of selected kernels to
+FPGA.  Once a task (or one of its parts) is marked for FPGA acceleration,
+its execution is set to be offloaded to FPGA-based clusters."
+
+A :class:`WorkflowSpec` is a location-annotated DAG; ``deploy`` maps it
+onto the EVEREST runtime's Dask-like client, turning FPGA-marked tasks
+into FPGA resource requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import WorkflowError
+from repro.runtime.cluster import Cluster
+from repro.runtime.taskgraph import EverestClient, Future, ResourceRequest
+
+
+@dataclass
+class WorkflowTask:
+    """One workflow step."""
+
+    name: str
+    fn: Callable
+    after: List[str] = field(default_factory=list)
+    location: str = "hpc"          # 'hpc' | 'cloud' | 'fpga'
+    fpga_seconds: float = 1e-3     # kernel estimate when offloaded
+    cpu_flops: float = 1e9
+    cores: int = 1
+    output_bytes: int = 8192
+    args: tuple = ()
+
+
+@dataclass
+class WorkflowSpec:
+    """A named workflow DAG."""
+
+    name: str
+    tasks: List[WorkflowTask] = field(default_factory=list)
+
+    def add(self, task: WorkflowTask) -> "WorkflowSpec":
+        if any(t.name == task.name for t in self.tasks):
+            raise WorkflowError(f"duplicate task name {task.name!r}")
+        self.tasks.append(task)
+        return self
+
+    def task(self, name: str) -> WorkflowTask:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise WorkflowError(f"unknown task {name!r}")
+
+    def mark_for_fpga(self, task_name: str,
+                      fpga_seconds: Optional[float] = None) -> None:
+        """The paper's offload marking."""
+        task = self.task(task_name)
+        task.location = "fpga"
+        if fpga_seconds is not None:
+            task.fpga_seconds = fpga_seconds
+
+
+class LexisPlatform:
+    """Deploys workflows onto the EVEREST runtime."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.deployments: Dict[str, Dict[str, Future]] = {}
+
+    def deploy(self, spec: WorkflowSpec) -> EverestClient:
+        """Submit the whole DAG; returns the client for result gathering."""
+        client = EverestClient(self.cluster)
+        futures: Dict[str, Future] = {}
+        remaining = list(spec.tasks)
+        progressed = True
+        while remaining and progressed:
+            progressed = False
+            for task in list(remaining):
+                if not all(dep in futures for dep in task.after):
+                    continue
+                deps = [futures[d] for d in task.after]
+                resources = ResourceRequest(
+                    cores=task.cores,
+                    fpga=task.location == "fpga",
+                    cpu_flops=task.cpu_flops,
+                    fpga_seconds=task.fpga_seconds,
+                )
+                futures[task.name] = client.submit(
+                    task.fn, *task.args, *deps, resources=resources,
+                    output_bytes=task.output_bytes, name=task.name,
+                )
+                remaining.remove(task)
+                progressed = True
+        if remaining:
+            raise WorkflowError(
+                f"workflow {spec.name!r} has unsatisfiable dependencies: "
+                f"{[t.name for t in remaining]}"
+            )
+        self.deployments[spec.name] = futures
+        return client
+
+    def results(self, spec_name: str) -> Dict[str, object]:
+        if spec_name not in self.deployments:
+            raise WorkflowError(f"workflow {spec_name!r} not deployed")
+        return {name: future.result()
+                for name, future in self.deployments[spec_name].items()}

@@ -1,0 +1,78 @@
+"""API-based microservices (paper §III).
+
+"Components are packaged up in containers as microservices that can handle
+compute-intensive tasks...  Offering such micro-services using RestAPI
+enables the reuse of the functionality across different use cases."
+
+An in-process REST-like registry: services register handlers under
+``METHOD /path`` routes; calls dispatch with JSON-ish dict payloads and
+return status-coded responses.  Used by the Fig. 1 platform benchmark and
+the anomaly-detection service deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import WorkflowError
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass
+class Response:
+    status: int
+    body: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class MicroserviceRegistry:
+    """Route table plus dispatch, one per platform."""
+
+    def __init__(self) -> None:
+        self.routes: Dict[Tuple[str, str], Callable[[Request], dict]] = {}
+        self.calls: int = 0
+
+    def register(self, method: str, path: str,
+                 handler: Callable[[Request], dict]) -> None:
+        key = (method.upper(), path)
+        if key in self.routes:
+            raise WorkflowError(f"route {method} {path} already registered")
+        self.routes[key] = handler
+
+    def service(self, method: str, path: str):
+        """Decorator form of :meth:`register`."""
+
+        def wrap(handler: Callable[[Request], dict]):
+            self.register(method, path, handler)
+            return handler
+
+        return wrap
+
+    def call(self, method: str, path: str,
+             payload: Optional[dict] = None) -> Response:
+        self.calls += 1
+        key = (method.upper(), path)
+        if key not in self.routes:
+            return Response(404, {"error": f"no route {method} {path}"})
+        try:
+            body = self.routes[key](Request(method.upper(), path,
+                                            payload or {}))
+        except WorkflowError as error:
+            return Response(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - service boundary
+            return Response(500, {"error": str(error)})
+        return Response(200, body if isinstance(body, dict)
+                        else {"result": body})
+
+    def routes_list(self) -> list:
+        return sorted(f"{m} {p}" for m, p in self.routes)

@@ -1,0 +1,8 @@
+"""Shared test configuration: ensure all EVEREST dialects are registered.
+
+Importing :mod:`repro.dialects` populates the global dialect registry that
+the IR verifier consults; production entry points (basecamp, the lowering
+helpers) import it the same way.
+"""
+
+import repro.dialects  # noqa: F401 (import for registration side effect)

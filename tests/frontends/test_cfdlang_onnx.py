@@ -1,0 +1,147 @@
+"""Tests for CFDlang and the ONNX-like frontend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrontendError, TypeCheckError
+from repro.frontends.cfdlang import (
+    lower_cfdlang_to_teil,
+    lower_program_to_cfdlang,
+    parse_program,
+    run_program,
+)
+from repro.frontends.onnx_front import (
+    Model,
+    example_cnn,
+    lower_jabbah_to_dfg,
+    lower_model_to_jabbah,
+)
+from repro.ir import verify
+from repro.tensorpipe import lower_teil_to_affine
+from repro.tensorpipe.affine_interp import run_affine
+
+
+class TestCFDlangInterp:
+    def test_matrix_vector_contraction(self):
+        program = parse_program("""
+        var input A : [4 5]
+        var input x : [5]
+        var output y : [4]
+        y = (A # x) . [[2 3]]
+        """)
+        rng = np.random.default_rng(0)
+        A, x = rng.normal(size=(4, 5)), rng.normal(size=5)
+        out = run_program(program, {"A": A, "x": x})
+        np.testing.assert_allclose(out["y"], A @ x)
+
+    def test_elementwise_ops(self):
+        program = parse_program("""
+        var input a : [3]
+        var input b : [3]
+        var output c : [3]
+        c = a * b + a
+        """)
+        out = run_program(program, {"a": [1, 2, 3], "b": [4, 5, 6]})
+        np.testing.assert_allclose(out["c"], [5, 12, 21])
+
+    def test_trace(self):
+        program = parse_program("""
+        var input M : [3 3]
+        var output t : []
+        t = M . [[1 2]]
+        """)
+        M = np.arange(9.0).reshape(3, 3)
+        out = run_program(program, {"M": M})
+        assert out["t"] == np.trace(M)
+
+    def test_shape_mismatch_rejected(self):
+        program = parse_program("""
+        var input a : [3]
+        var output c : [4]
+        c = a
+        """)
+        with pytest.raises(TypeCheckError):
+            run_program(program, {"a": [1, 2, 3]})
+
+    def test_contraction_unequal_extents_rejected(self):
+        program = parse_program("""
+        var input A : [3 4]
+        var output t : []
+        t = A . [[1 2]]
+        """)
+        with pytest.raises(TypeCheckError):
+            run_program(program, {"A": np.zeros((3, 4))})
+
+
+class TestCFDlangCompiled:
+    def test_compiled_path_matches_interpreter(self):
+        source = """
+        var input A : [4 5]
+        var input x : [5]
+        var output y : [4]
+        y = (A # x) . [[2 3]]
+        """
+        program = parse_program(source)
+        rng = np.random.default_rng(1)
+        inputs = {"A": rng.normal(size=(4, 5)), "x": rng.normal(size=5)}
+        expected = run_program(program, inputs)["y"]
+        m1 = lower_program_to_cfdlang(program, "mv")
+        verify(m1)
+        m2 = lower_cfdlang_to_teil(m1)
+        verify(m2)
+        m3 = lower_teil_to_affine(m2)
+        verify(m3)
+        got = run_affine(m3, "mv", inputs)["y"]
+        np.testing.assert_allclose(got, expected)
+
+
+class TestONNXFrontend:
+    def test_example_cnn_forward_shape(self):
+        model = example_cnn()
+        out = model.forward(np.zeros(model.input_shape))
+        assert out.shape == model.output_shape()
+
+    def test_macs_accounting(self):
+        model = example_cnn()
+        assert model.total_macs() == sum(
+            model.layer_macs(i) for i in range(len(model.layers))
+        )
+        # conv layers dominate a CNN's MACs
+        conv_macs = sum(model.layer_macs(i)
+                        for i, l in enumerate(model.layers)
+                        if l.kind == "conv2d")
+        assert conv_macs > model.total_macs() * 0.5
+
+    def test_dense_requires_flatten(self):
+        rng = np.random.default_rng(0)
+        model = Model("bad", (1, 8, 8))
+        with pytest.raises(FrontendError):
+            model.dense(4, rng)
+
+    def test_wrong_input_shape_rejected(self):
+        model = example_cnn()
+        with pytest.raises(FrontendError):
+            model.forward(np.zeros((3, 3)))
+
+    def test_relu_and_pool_semantics(self):
+        rng = np.random.default_rng(0)
+        model = Model("m", (1, 4, 4))
+        model.relu().maxpool2()
+        x = np.arange(16.0).reshape(1, 4, 4) - 8
+        out = model.forward(x)
+        assert out.shape == (1, 2, 2)
+        assert out.min() >= 0.0
+
+    def test_jabbah_lowering_verifies(self):
+        module = lower_model_to_jabbah(example_cnn())
+        verify(module)
+        graph = module.lookup("traffic_speed_cnn")
+        ops = [op for op in graph.regions[0].entry
+               if op.name == "jabbah.op"]
+        assert len(ops) == len(example_cnn().layers)
+
+    def test_jabbah_to_dfg_edge(self):
+        module = lower_jabbah_to_dfg(lower_model_to_jabbah(example_cnn()))
+        verify(module)
+        graph = module.lookup("traffic_speed_cnn")
+        assert graph.name == "dfg.graph"

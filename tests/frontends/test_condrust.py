@@ -1,0 +1,145 @@
+"""Tests for ConDRust: parsing, ownership, dfg lowering, execution, Fig. 4."""
+
+import pytest
+
+from repro.errors import FrontendError, OwnershipError
+from repro.frontends.condrust import (
+    FIG4_MAP_MATCHING,
+    DataflowExecutor,
+    check_ownership,
+    lower_program_to_dfg,
+    parse_program,
+)
+from repro.ir import verify
+
+
+class TestParsing:
+    def test_fig4_parses_verbatim(self):
+        program = parse_program(FIG4_MAP_MATCHING)
+        fn = program.function("match_one")
+        assert [p.name for p in fn.params] == ["gv", "mapcell"]
+        assert fn.return_type == "RoadSpeedVector"
+        assert [s.name for s in fn.body] == ["cv", "t", "rsvbb"]
+
+    def test_fig4_kernel_attribute(self):
+        fn = parse_program(FIG4_MAP_MATCHING).function("match_one")
+        attr = fn.body[0].attr
+        assert attr is not None
+        assert attr.offloaded is True
+        assert attr.params["multiplicity"] == [1, 1, 1, 1]
+        assert attr.params["path"] == "projection.cpp"
+
+    def test_tail_expression_required(self):
+        with pytest.raises(OwnershipError):
+            lower_program_to_dfg(parse_program(
+                "fn f(a: T) -> T { let b: T = g(a); }"
+            ))
+
+    def test_attribute_must_precede_let(self):
+        with pytest.raises(FrontendError):
+            parse_program(
+                "fn f(a: T) -> T { #[kernel(offloaded = true)] g(a) }"
+            )
+
+    def test_literals_and_tuples(self):
+        program = parse_program(
+            'fn f(a: T) -> T { let x: U = g(a, 1, 2.5, true, "s"); h(x) }'
+        )
+        assert program.function("f").body[0].value.callee == "g"
+
+
+class TestOwnership:
+    def test_single_assignment_enforced(self):
+        with pytest.raises(OwnershipError):
+            check_ownership(parse_program(
+                "fn f(a: T) -> T { let b: T = g(a); let b: T = g(a); b }"
+            ))
+
+    def test_undefined_use_rejected(self):
+        with pytest.raises(OwnershipError):
+            check_ownership(parse_program(
+                "fn f(a: T) -> T { let b: T = g(missing); b }"
+            ))
+
+    def test_immutable_values_shared_freely(self):
+        check_ownership(parse_program(
+            "fn f(a: T) -> T { let b: T = g(a, a); let c: T = h(a, b); c }"
+        ))
+
+    def test_mutable_value_single_consumer(self):
+        with pytest.raises(OwnershipError) as err:
+            check_ownership(parse_program(
+                "fn f(a: T) -> T { let mut m: T = g(a); "
+                "let x: T = h(m); let y: T = h(m); y }"
+            ))
+        assert "unique borrow" in str(err.value)
+
+    def test_fig4_is_well_formed(self):
+        check_ownership(parse_program(FIG4_MAP_MATCHING))
+
+
+class TestLoweringAndExecution:
+    def test_fig4_lowers_to_verified_dfg(self):
+        module = lower_program_to_dfg(parse_program(FIG4_MAP_MATCHING))
+        verify(module)
+        graph = module.lookup("match_one")
+        nodes = [op for op in graph.regions[0].entry
+                 if op.name == "dfg.node"]
+        assert [n.attr("callee") for n in nodes] == [
+            "projection", "build_trellis", "viterbi", "interpolate"
+        ]
+        assert nodes[0].attr("offloaded") is True
+
+    def test_execution_is_deterministic(self):
+        module = lower_program_to_dfg(parse_program(FIG4_MAP_MATCHING))
+        impls = {
+            "projection": lambda gv, mc: [g * 2 for g in gv],
+            "build_trellis": lambda gv, cv, mc: list(zip(gv, cv)),
+            "viterbi": lambda t, cv: [a + b for a, b in t],
+            "interpolate": lambda rsv, mc: sum(rsv),
+        }
+        results = set()
+        for _ in range(5):
+            executor = DataflowExecutor(module).register_all(impls)
+            results.add(executor.run("match_one", [1.0, 2.0], {}))
+        assert len(results) == 1
+
+    def test_offload_handler_invoked(self):
+        module = lower_program_to_dfg(parse_program(FIG4_MAP_MATCHING))
+        executor = DataflowExecutor(module).register_all({
+            "projection": lambda gv, mc: gv,
+            "build_trellis": lambda gv, cv, mc: gv,
+            "viterbi": lambda t, cv: t,
+            "interpolate": lambda rsv, mc: rsv,
+        })
+        offloaded = []
+        executor.set_offload_handler(
+            lambda callee, fn, args, attrs:
+            (offloaded.append(callee), fn(*args))[1]
+        )
+        executor.run("match_one", [1.0], {})
+        assert offloaded == ["projection"]
+
+    def test_waves_expose_parallelism(self):
+        program = parse_program("""
+        fn f(a: T) -> T {
+            let x: T = g(a);
+            let y: T = h(a);
+            join(x, y)
+        }
+        """)
+        module = lower_program_to_dfg(program)
+        executor = DataflowExecutor(module).register_all({
+            "g": lambda a: a, "h": lambda a: a, "join": lambda x, y: x,
+        })
+        executor.run("f", 1)
+        waves = executor.waves()
+        assert waves[0] == ["g", "h"]  # independent nodes share a wave
+        assert waves[1] == ["join"]
+
+    def test_missing_implementation_reported(self):
+        from repro.errors import RuntimeSchedulingError
+
+        module = lower_program_to_dfg(parse_program(FIG4_MAP_MATCHING))
+        with pytest.raises(RuntimeSchedulingError):
+            DataflowExecutor(module).run("match_one", [1.0], {})

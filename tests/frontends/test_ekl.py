@@ -1,0 +1,280 @@
+"""Tests for the EVEREST Kernel Language: parsing, semantics, Fig. 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FrontendError, OwnershipError, TypeCheckError
+from repro.frontends.ekl import (
+    FIG3_MAJOR_ABSORBER,
+    Interpreter,
+    parse_kernel,
+)
+from repro.frontends.ekl.axes import fresh_anon, ordered_union, plan_subscript
+
+
+def _run(source, **inputs):
+    kernel = parse_kernel(source)
+    return Interpreter(kernel).run(inputs)
+
+
+class TestParsing:
+    def test_minimal_kernel(self):
+        k = parse_kernel("""
+        kernel k {
+          index i: 4
+          input a[i]: f64
+          output b
+          b = a + 1.0
+        }
+        """)
+        assert k.name == "k"
+        assert k.input_names() == ("a",)
+        assert k.output_names() == ("b",)
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_kernel("kernel k {\n index i: 2\n}")
+
+    def test_statements_newline_terminated(self):
+        k = parse_kernel(
+            "kernel k { \n index i: 2\n input a[i]: f64\n output c\n"
+            " c = (a\n   + a)\n }"
+        )
+        assert len(k.body) == 1
+
+    def test_semicolons_accepted(self):
+        k = parse_kernel(
+            "kernel k { index i: 2; input a[i]: f64; output c; c = a * a; }"
+        )
+        assert len(k.body) == 1
+
+    def test_unknown_character_reported_with_position(self):
+        with pytest.raises(FrontendError) as err:
+            parse_kernel("kernel k {\n  c = a @ b\n}")
+        assert err.value.line == 2
+
+
+class TestSemantics:
+    def test_elementwise_broadcasting_by_name(self):
+        out = _run("""
+        kernel k {
+          index i: 3, j: 2
+          input a[i]: f64
+          input b[j]: f64
+          output c
+          c = a * b
+        }
+        """, a=[1.0, 2.0, 3.0], b=[10.0, 100.0])
+        np.testing.assert_array_equal(
+            out["c"], np.outer([1, 2, 3], [10, 100])
+        )
+
+    def test_sum_reduction(self):
+        out = _run("""
+        kernel k {
+          index i: 4
+          input a[i]: f64
+          output s
+          s = sum[i](a * a)
+        }
+        """, a=[1.0, 2.0, 3.0, 4.0])
+        assert out["s"] == 30.0
+
+    def test_select(self):
+        out = _run("""
+        kernel k {
+          index i: 4
+          input a[i]: f64
+          output c
+          c = select(a >= 2.0, a, 0.0 - a)
+        }
+        """, a=[1.0, 2.0, 3.0, 0.5])
+        np.testing.assert_array_equal(out["c"], [-1.0, 2.0, 3.0, -0.5])
+
+    def test_subscripted_subscripts(self):
+        out = _run("""
+        kernel k {
+          index i: 3
+          input idx[i]: i64
+          input table[8]: f64
+          output c
+          c = table[idx]
+        }
+        """, idx=[0, 3, 7], table=np.arange(8.0) * 10)
+        np.testing.assert_array_equal(out["c"], [0.0, 30.0, 70.0])
+
+    def test_stack_and_bind(self):
+        out = _run("""
+        kernel k {
+          index i: 3, t: 2
+          input a[i]: i64
+          input table[8]: f64
+          output c
+          s = [a, a + 1]
+          c = table[s[i, t]]
+        }
+        """, a=[0, 2, 4], table=np.arange(8.0))
+        np.testing.assert_array_equal(out["c"],
+                                      [[0, 1], [2, 3], [4, 5]])
+
+    def test_index_reassociation_on_target(self):
+        out = _run("""
+        kernel k {
+          index i: 2, j: 3
+          input a[i]: f64
+          input b[j]: f64
+          output c
+          c[j, i] = a * b
+        }
+        """, a=[1.0, 2.0], b=[1.0, 10.0, 100.0])
+        assert out["c"].shape == (3, 2)
+
+    def test_out_of_bounds_subscript_rejected(self):
+        with pytest.raises(FrontendError):
+            _run("""
+            kernel k {
+              index i: 3
+              input idx[i]: i64
+              input table[4]: f64
+              output c
+              c = table[idx]
+            }
+            """, idx=[0, 1, 9], table=np.zeros(4))
+
+    def test_unbound_stack_axis_rejected(self):
+        with pytest.raises(TypeCheckError):
+            _run("""
+            kernel k {
+              index i: 2
+              input a[i]: f64
+              output c
+              s = [a, a]
+              c = s + 1.0
+            }
+            """, a=[1.0, 2.0])
+
+    def test_sum_over_missing_index_rejected(self):
+        with pytest.raises(TypeCheckError):
+            _run("""
+            kernel k {
+              index i: 2, j: 2
+              input a[i]: f64
+              output c
+              c = sum[j](a)
+            }
+            """, a=[1.0, 2.0])
+
+    def test_assign_to_input_rejected(self):
+        with pytest.raises(TypeCheckError):
+            _run("""
+            kernel k {
+              index i: 2
+              input a[i]: f64
+              output a2
+              a = a + 1.0
+              a2 = a
+            }
+            """, a=[1.0, 2.0])
+
+    def test_wrong_input_shape_rejected(self):
+        with pytest.raises(FrontendError):
+            _run("""
+            kernel k {
+              index i: 4
+              input a[i]: f64
+              output c
+              c = a
+            }
+            """, a=[1.0, 2.0])
+
+    def test_intrinsics(self):
+        out = _run("""
+        kernel k {
+          index i: 3
+          input a[i]: f64
+          output c
+          c = sqrt(abs(a)) + max(a, 0.0)
+        }
+        """, a=[4.0, -9.0, 0.0])
+        np.testing.assert_allclose(out["c"], [2 + 4, 3 + 0, 0])
+
+
+class TestFig3:
+    def _inputs(self, seed=42):
+        rng = np.random.default_rng(seed)
+        return dict(
+            press=rng.uniform(0.1, 1.0, 16),
+            strato=np.asarray(0.4),
+            bnd=np.asarray(3),
+            bnd_to_flav=rng.integers(0, 14, (2, 14)),
+            j_T=rng.integers(0, 7, 16),
+            j_p=rng.integers(0, 6, 16),
+            j_eta=rng.integers(0, 3, (14, 16, 2)),
+            r_mix=rng.uniform(0.5, 1.5, (14, 16, 2)),
+            f_major=rng.uniform(0.0, 1.0, (14, 16, 2, 2, 2)),
+            k_major=rng.uniform(0.0, 2.0, (8, 8, 4, 16)),
+        )
+
+    def test_fig3_parses(self):
+        kernel = parse_kernel(FIG3_MAJOR_ABSORBER)
+        assert kernel.name == "tau_major"
+        assert "tau_abs" in kernel.output_names()
+
+    def test_fig3_matches_loop_reference(self):
+        from repro.apps.wrf.rrtmg import tau_major_reference
+
+        inputs = self._inputs()
+        kernel = parse_kernel(FIG3_MAJOR_ABSORBER)
+        interp = Interpreter(kernel)
+        got = interp.run(inputs)["tau_abs"]
+        assert interp.output_axes("tau_abs") == ("x", "g")
+        np.testing.assert_allclose(got, tau_major_reference(inputs))
+
+    def test_fig3_loc_vs_fortran(self):
+        """The paper: the Fig. 3 snippet replaces ~200 lines of Fortran."""
+        body_lines = [
+            line for line in FIG3_MAJOR_ABSORBER.splitlines()
+            if line.strip() and not line.strip().startswith(("kernel", "}",
+                                                             "const",
+                                                             "index",
+                                                             "input",
+                                                             "output"))
+        ]
+        assert len(body_lines) <= 12
+
+
+class TestAxisRules:
+    def test_ordered_union_keeps_first_appearance(self):
+        assert ordered_union([["x", "t"], ["p", "x"]]) == ["x", "t", "p"]
+
+    def test_plain_index_reassociates(self):
+        plan = plan_subscript(("x", "y"), ["y", "x"], [["y"], ["x"]])
+        assert plan.binding == [1, 0]
+
+    def test_anonymous_axes_bound_first(self):
+        anon = fresh_anon()
+        plan = plan_subscript(("x", "p", anon), ["x", None],
+                              [["x"], ["e"]])
+        # x re-associates; the remaining expr binds the anon axis; p free.
+        assert plan.binding[0] == 0
+        assert plan.binding[2] == 1
+        assert plan.binding[1] is None
+        assert plan.result_axes == ["x", "p", "e"]
+
+    def test_too_many_subscripts_rejected(self):
+        with pytest.raises(TypeCheckError):
+            plan_subscript(("x",), [None, None], [[], []])
+
+    def test_unbound_anon_rejected(self):
+        with pytest.raises(TypeCheckError):
+            plan_subscript(("x", fresh_anon()), ["x"], [["x"]])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=4,
+                    unique=True))
+    def test_identity_subscript_preserves_axes(self, labels):
+        plan = plan_subscript(tuple(labels), list(labels),
+                              [[l] for l in labels])
+        assert plan.result_axes == list(labels)
+        assert plan.binding == list(range(len(labels)))

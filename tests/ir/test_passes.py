@@ -1,0 +1,129 @@
+"""Tests for the pass manager, DCE, CSE and the rewrite driver."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Builder,
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    LambdaPass,
+    Module,
+    PassManager,
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns,
+    build_func,
+    types as T,
+)
+
+
+def _func_with_body(op_count=0):
+    m = Module()
+    func, entry, fb = build_func(m, "f", [T.f64], [T.f64])
+    return m, entry, fb
+
+
+class TestDCE:
+    def test_removes_unused_pure_op(self):
+        m, entry, fb = _func_with_body()
+        dead = fb.create("arith.mulf", [entry.args[0], entry.args[0]],
+                         [T.f64])
+        live = fb.create("arith.addf", [entry.args[0], entry.args[0]],
+                         [T.f64])
+        fb.create("func.return", [live.result])
+        DeadCodeElimination().run(m)
+        names = [op.name for op in entry]
+        assert "arith.mulf" not in names
+        assert "arith.addf" in names
+
+    def test_removes_transitively(self):
+        m, entry, fb = _func_with_body()
+        a = fb.create("arith.addf", [entry.args[0], entry.args[0]], [T.f64])
+        b = fb.create("arith.mulf", [a.result, a.result], [T.f64])
+        fb.create("func.return", [entry.args[0]])
+        DeadCodeElimination().run(m)
+        assert len(entry) == 1  # only the return remains
+
+    def test_keeps_impure_ops(self):
+        m = Module()
+        b = Builder.at_end(m.body)
+        b.create("memref.alloc", [], [T.memref_of(T.f64, 4)])
+        DeadCodeElimination().run(m)
+        assert len(m.body) == 1
+
+
+class TestCSE:
+    def test_deduplicates_identical_pure_ops(self):
+        m, entry, fb = _func_with_body()
+        a = fb.create("arith.addf", [entry.args[0], entry.args[0]], [T.f64])
+        b = fb.create("arith.addf", [entry.args[0], entry.args[0]], [T.f64])
+        total = fb.create("arith.mulf", [a.result, b.result], [T.f64])
+        fb.create("func.return", [total.result])
+        CommonSubexpressionElimination().run(m)
+        adds = [op for op in entry if op.name == "arith.addf"]
+        assert len(adds) == 1
+        assert total.operands[0] is total.operands[1]
+
+    def test_distinguishes_by_attributes(self):
+        m = Module()
+        b = Builder.at_end(m.body)
+        c1 = b.create("arith.constant", [], [T.f64], {"value": 1.0})
+        c2 = b.create("arith.constant", [], [T.f64], {"value": 2.0})
+        b.create("test.keep", [c1.result, c2.result], [])
+        CommonSubexpressionElimination().run(m)
+        consts = [op for op in m.body if op.name == "arith.constant"]
+        assert len(consts) == 2
+
+
+class TestPassManager:
+    def test_runs_in_order_and_times(self):
+        order = []
+        pm = PassManager(verify_each=False)
+        pm.add(LambdaPass("one", lambda m: order.append(1)))
+        pm.add(LambdaPass("two", lambda m: order.append(2)))
+        pm.run(Module())
+        assert order == [1, 2]
+        assert [name for name, _ in pm.timings] == ["one", "two"]
+        assert "pass pipeline timing" in pm.report()
+
+    def test_verify_each_catches_breakage(self):
+        def break_module(m):
+            b = Builder.at_end(m.body)
+            b.create("arith.mulf", [], [T.f64])  # wrong arity
+
+        pm = PassManager(verify_each=True)
+        pm.add(LambdaPass("bad", break_module))
+        with pytest.raises(IRError):
+            pm.run(Module())
+
+
+class _FoldDoubleNeg(RewritePattern):
+    op_name = "test.neg"
+
+    def match_and_rewrite(self, op, rewriter: PatternRewriter) -> bool:
+        inner = op.operands[0].owner_op() if op.operands else None
+        if inner is None or inner.name != "test.neg":
+            return False
+        rewriter.replace_op(op, [inner.operands[0]])
+        return True
+
+
+class TestRewriteDriver:
+    def test_greedy_fixpoint(self):
+        m = Module()
+        b = Builder.at_end(m.body)
+        x = b.create("arith.constant", [], [T.f64], {"value": 1.0}).result
+        n1 = b.create("test.neg", [x], [T.f64]).result
+        n2 = b.create("test.neg", [n1], [T.f64]).result
+        n3 = b.create("test.neg", [n2], [T.f64]).result
+        n4 = b.create("test.neg", [n3], [T.f64]).result
+        use = b.create("test.use", [n4], [])
+        changed = apply_patterns(m, [_FoldDoubleNeg()])
+        assert changed
+        # neg(neg(neg(neg(x)))) -> x
+        assert use.operands[0] is x
+
+    def test_no_match_returns_false(self):
+        m = Module()
+        assert apply_patterns(m, [_FoldDoubleNeg()]) is False

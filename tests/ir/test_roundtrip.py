@@ -1,0 +1,149 @@
+"""Printer/parser round-trip tests, including property-based module
+generation with hypothesis."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    ArrayAttr,
+    Builder,
+    DenseAttr,
+    DictAttr,
+    Module,
+    attr,
+    build_func,
+    parse_module,
+    print_module,
+    types as T,
+    verify,
+)
+
+# -- strategies ---------------------------------------------------------------------
+
+_scalar_types = st.sampled_from([T.i1, T.i32, T.i64, T.f32, T.f64, T.bf16,
+                                 T.index])
+_element_types = st.sampled_from([T.f64, T.f32, T.i64])
+
+
+@st.composite
+def _types(draw):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(_scalar_types)
+    if kind == 1:
+        shape = tuple(draw(st.lists(
+            st.one_of(st.integers(1, 8), st.none()), min_size=0, max_size=3
+        )))
+        return T.TensorType(shape, draw(_element_types))
+    shape = tuple(draw(st.lists(st.integers(1, 8), min_size=1, max_size=2)))
+    return T.MemRefType(shape, draw(_element_types),
+                        draw(st.sampled_from(["", "hbm0", "plm"])))
+
+
+_attr_values = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(alphabet="abcXYZ_ 09", max_size=8),
+    st.lists(st.integers(-5, 5), max_size=3),
+)
+
+
+@st.composite
+def _modules(draw):
+    module = Module()
+    builder = Builder.at_end(module.body)
+    values = []
+    n_ops = draw(st.integers(1, 6))
+    for i in range(n_ops):
+        n_operands = draw(st.integers(0, min(2, len(values))))
+        operands = [values[draw(st.integers(0, len(values) - 1))]
+                    for _ in range(n_operands)] if values else []
+        n_results = draw(st.integers(0, 2))
+        result_types = [draw(_types()) for _ in range(n_results)]
+        attrs = {}
+        for k in range(draw(st.integers(0, 2))):
+            attrs[f"a{k}"] = draw(_attr_values)
+        op = builder.create(f"test.op{i}", operands, result_types, attrs)
+        values.extend(op.results)
+    return module
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(_modules())
+    def test_print_parse_print_is_identity(self, module):
+        text = print_module(module)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+
+
+class TestRoundTripConcrete:
+    def test_function_with_block_args(self):
+        m = Module()
+        _, entry, fb = build_func(m, "f", [T.f64, T.tensor_of(T.i64, 4)],
+                                  [T.f64])
+        r = fb.create("arith.addf", [entry.args[0], entry.args[0]], [T.f64])
+        fb.create("func.return", [r.result])
+        text = print_module(m)
+        assert print_module(parse_module(text)) == text
+        verify(parse_module(text))
+
+    def test_multi_result_ops(self):
+        m = Module()
+        b = Builder.at_end(m.body)
+        pair = b.create("test.pair", [], [T.f64, T.i32])
+        b.create("test.use", [pair.results[1], pair.results[0]], [])
+        text = print_module(m)
+        assert "%0:2" in text
+        assert "%0#1" in text
+        assert print_module(parse_module(text)) == text
+
+    def test_nested_regions(self):
+        from repro.ir.core import Block, Operation, Region
+
+        m = Module()
+        inner = Block([T.index])
+        Builder.at_end(inner).create("affine.yield", [], [])
+        loop = Operation.create("affine.for", [], [],
+                                {"lower": 0, "upper": 4, "step": 1},
+                                [Region([inner])])
+        m.append(loop)
+        text = print_module(m)
+        assert print_module(parse_module(text)) == text
+
+    def test_dense_attribute(self):
+        m = Module()
+        b = Builder.at_end(m.body)
+        data = np.array([1.5, -2.0, 3.25])
+        b.create("test.const", [], [T.tensor_of(T.f64, 3)], {
+            "value": DenseAttr(data, T.tensor_of(T.f64, 3)),
+        })
+        text = print_module(m)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+        op = reparsed.body.operations[0]
+        np.testing.assert_array_equal(op.attr("value"), data)
+
+    def test_escaped_strings(self):
+        m = Module()
+        b = Builder.at_end(m.body)
+        b.create("test.op", [], [], {"s": 'a"b\\c'})
+        text = print_module(m)
+        reparsed = parse_module(text)
+        assert reparsed.body.operations[0].attr("s") == 'a"b\\c'
+
+    def test_special_floats(self):
+        m = Module()
+        b = Builder.at_end(m.body)
+        b.create("test.op", [], [], {"inf": float("inf"),
+                                     "ninf": float("-inf")})
+        text = print_module(m)
+        reparsed = parse_module(text)
+        assert reparsed.body.operations[0].attr("inf") == float("inf")
+        assert reparsed.body.operations[0].attr("ninf") == float("-inf")
+
+    def test_comments_are_skipped(self):
+        text = print_module(Module())
+        commented = "// a comment\n" + text
+        parse_module(commented)

@@ -1,0 +1,209 @@
+"""Tests for mARGOt and the anomaly-detection service."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anomaly import (
+    DetectionNode,
+    ModelSelectionNode,
+    TPESampler,
+    f1_score,
+    load_data,
+    make_detector,
+    minimize,
+    random_search,
+)
+from repro.anomaly.service import DataConfig
+from repro.autotuner import (
+    Constraint,
+    Knob,
+    MargotManager,
+    OperatingPoint,
+    Rank,
+)
+from repro.errors import AnomalyError, AutotunerError
+
+
+def _ops():
+    return [
+        OperatingPoint({"variant": "cpu"},
+                       {"time_ms": 100.0, "energy_j": 5.0}),
+        OperatingPoint({"variant": "fpga"},
+                       {"time_ms": 20.0, "energy_j": 2.0}),
+        OperatingPoint({"variant": "fpga_x4"},
+                       {"time_ms": 8.0, "energy_j": 3.5}),
+    ]
+
+
+class TestMargot:
+    def test_constraint_filters_then_rank(self):
+        manager = MargotManager(_ops())
+        manager.add_constraint(Constraint("time_ms", upper_bound=50.0))
+        manager.set_rank(Rank({"energy_j": 1.0}))
+        assert manager.update().knobs["variant"] == "fpga"
+
+    def test_adapts_to_observed_degradation(self):
+        manager = MargotManager(_ops())
+        manager.add_constraint(Constraint("time_ms", upper_bound=50.0))
+        manager.set_rank(Rank({"energy_j": 1.0}))
+        manager.update()
+        for _ in range(10):
+            manager.observe("time_ms", 80.0)  # fpga 4x slower than expected
+        assert manager.update().knobs["variant"] == "fpga_x4"
+        assert manager.switches == 1
+
+    def test_infeasible_constraints_relaxed(self):
+        manager = MargotManager(_ops())
+        manager.add_constraint(Constraint("time_ms", upper_bound=1.0))
+        point = manager.update()  # nothing satisfies; falls back to rank
+        assert point is not None
+
+    def test_constraint_priority_order(self):
+        manager = MargotManager(_ops())
+        manager.add_constraint(Constraint("energy_j", upper_bound=3.0,
+                                          priority=2))
+        manager.add_constraint(Constraint("time_ms", upper_bound=10.0,
+                                          priority=1))
+        manager.set_rank(Rank({"time_ms": 1.0}))
+        # Hard constraint (priority 1) keeps only fpga_x4; the energy
+        # constraint then cannot be satisfied and is relaxed.
+        assert manager.update().knobs["variant"] == "fpga_x4"
+
+    def test_empty_knowledge_rejected(self):
+        with pytest.raises(AutotunerError):
+            MargotManager([])
+
+    def test_knob_validation(self):
+        with pytest.raises(AutotunerError):
+            Knob("k", ())
+
+
+class TestTPE:
+    @staticmethod
+    def _quadratic(params):
+        return (params["x"] - 3.0) ** 2 + 0.1 * (params["y"] + 1.0) ** 2
+
+    def test_tpe_minimizes_quadratic(self):
+        space = {"x": ("uniform", -10.0, 10.0),
+                 "y": ("uniform", -10.0, 10.0)}
+        best = minimize(self._quadratic, space, n_trials=60, seed=0)
+        assert best.value < 1.0
+
+    def test_tpe_beats_random_in_median(self):
+        space = {"x": ("uniform", -10.0, 10.0),
+                 "y": ("uniform", -10.0, 10.0)}
+        tpe_scores = [minimize(self._quadratic, space, 60, seed=s).value
+                      for s in range(8)]
+        random_scores = [random_search(self._quadratic, space, 60,
+                                       seed=s).value for s in range(8)]
+        assert np.median(tpe_scores) < np.median(random_scores)
+
+    def test_choice_and_int_params(self):
+        def objective(params):
+            base = 0.0 if params["kind"] == "good" else 5.0
+            return base + abs(params["n"] - 7)
+
+        space = {"kind": ("choice", ["bad", "good", "ugly"]),
+                 "n": ("int", 0, 20)}
+        best = minimize(objective, space, n_trials=50, seed=1)
+        assert best.params["kind"] == "good"
+        assert abs(best.params["n"] - 7) <= 2
+
+    def test_loguniform_stays_in_bounds(self):
+        sampler = TPESampler({"lr": ("loguniform", 1e-5, 1e-1)}, seed=0)
+        for _ in range(30):
+            params = sampler.ask()
+            assert 1e-5 <= params["lr"] <= 1e-1
+            sampler.tell(params, params["lr"])
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(AnomalyError):
+            TPESampler({"x": ("gaussian", 0, 1)})
+
+
+class TestDetectors:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        normal = rng.normal(0, 1, (300, 2))
+        anomalies = rng.normal(6, 0.5, (15, 2))
+        X = np.concatenate([normal, anomalies])
+        return normal, X, list(range(300, 315))
+
+    @pytest.mark.parametrize("name", ["zscore", "iqr", "mahalanobis",
+                                      "iforest", "lof"])
+    def test_detector_separates_obvious_anomalies(self, name):
+        normal, X, truth = self._data()
+        detector = make_detector(name).fit(normal)
+        predicted = detector.predict_indexes(X, contamination=0.05)
+        assert f1_score(predicted, truth, len(X)) > 0.7, name
+
+    def test_scores_before_fit_rejected(self):
+        with pytest.raises(AnomalyError):
+            make_detector("zscore").scores(np.zeros((3, 2)))
+
+    def test_unknown_detector(self):
+        with pytest.raises(AnomalyError):
+            make_detector("oracle")
+
+    def test_moving_window_flags_spikes(self):
+        rng = np.random.default_rng(1)
+        series = np.sin(np.linspace(0, 20, 400)) \
+            + rng.normal(0, 0.05, 400)
+        series[150] += 4.0
+        detector = make_detector("moving_window", window=12)
+        detector.fit(series[:100, None])
+        flagged = detector.predict_indexes(series[:, None],
+                                           contamination=0.01)
+        assert any(abs(i - 150) <= 1 for i in flagged)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.01, 0.3))
+    def test_contamination_bounds_flag_count(self, contamination):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, (200, 2))
+        detector = make_detector("zscore").fit(X)
+        flagged = detector.predict_indexes(X, contamination)
+        assert len(flagged) <= int(np.ceil(contamination * len(X))) + 1
+
+
+class TestServiceNodes:
+    def test_model_selection_and_detection_json(self, tmp_path):
+        rng = np.random.default_rng(3)
+        train = rng.normal(0, 1, (300, 3))
+        val = np.concatenate([rng.normal(0, 1, (150, 3)),
+                              rng.normal(5, 0.7, (12, 3))])
+        labels = list(range(150, 162))
+        selection = ModelSelectionNode(seed=0).run(train, val, labels,
+                                                   n_trials=20)
+        assert selection.best_score > 0.5
+        node = DetectionNode(selection)
+        out = tmp_path / "anomalies.json"
+        report = node.detect(val, output_path=str(out))
+        payload = json.loads(out.read_text())
+        assert payload["anomalies"] == report.anomalies
+        assert payload["n_samples"] == len(val)
+
+    def test_continuous_update_refits(self):
+        rng = np.random.default_rng(4)
+        selection = ModelSelectionNode(seed=0).run(
+            rng.normal(0, 1, (100, 2)), rng.normal(0, 1, (50, 2)),
+            n_trials=6,
+        )
+        node = DetectionNode(selection, update_window=64)
+        for _ in range(3):
+            node.detect(rng.normal(0, 1, (40, 2)))
+        assert len(node._history) == 3
+
+    def test_load_data_csv_with_config(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("h1,h2,h3\n1,2,3\n4,5,6\n")
+        data = load_data(str(path), DataConfig(skip_header=1,
+                                               columns=[0, 2]))
+        np.testing.assert_array_equal(data, [[1, 3], [4, 6]])
+
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(AnomalyError):
+            load_data("data.parquet")

@@ -1,0 +1,152 @@
+"""Tests for the HLS engine: scheduling, II analysis, reports, backends."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.frontends.ekl import FIG3_MAJOR_ABSORBER, parse_kernel
+from repro.frontends.ekl.lower import lower_ekl_to_esn, lower_kernel_to_ekl
+from repro.hls import HLSEngine, cost_of, synthesize_kernel
+from repro.hls.scheduling import asap, build_dfg, list_schedule
+from repro.ir import Module, verify, types as T
+from repro.numerics import make_format
+from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+
+
+def _affine_module(source):
+    kernel = parse_kernel(source)
+    return kernel, lower_teil_to_affine(
+        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
+    )
+
+
+SIMPLE = """
+kernel simple {
+  index i: 32
+  input a[i]: f64
+  input b[i]: f64
+  output c
+  c = a * b + a
+}
+"""
+
+REDUCTION = """
+kernel dotp {
+  index i: 64
+  input a[i]: f64
+  input b[i]: f64
+  output s
+  s = sum[i](a * b)
+}
+"""
+
+
+class TestCostModel:
+    def test_relative_op_costs(self):
+        assert cost_of("arith.divf", T.f64).latency \
+            > cost_of("arith.mulf", T.f64).latency \
+            > cost_of("arith.addi", T.i64).latency
+
+    def test_precision_reduces_cost(self):
+        assert cost_of("arith.mulf", T.f32).dsp \
+            < cost_of("arith.mulf", T.f64).dsp
+
+    def test_fixed_point_cheapest(self):
+        fixed = cost_of("arith.mulf", T.FixedPointType(8, 8))
+        assert fixed.latency <= cost_of("arith.mulf", T.f32).latency
+
+    def test_posit_between_fixed_and_float(self):
+        posit = cost_of("arith.addf", T.PositType(16, 1))
+        assert posit.lut < cost_of("arith.addf", T.f64).lut
+
+
+class TestScheduling:
+    def test_asap_respects_dependencies(self):
+        _, module = _affine_module(SIMPLE)
+        func = module.lookup("simple")
+        loops = [op for op in func.walk() if op.name == "affine.for"]
+        body = [op for op in loops[-1].regions[0].entry
+                if op.name != "affine.yield"]
+        engine = HLSEngine()
+        dfg = build_dfg(body, engine._element_of)
+        start = asap(dfg)
+        for node in dfg.nodes:
+            for pred in node.preds:
+                assert start[node.index] >= start[pred] \
+                    + dfg.nodes[pred].cost.latency
+
+    def test_memory_port_limit_raises_ii(self):
+        _, module = _affine_module(SIMPLE)
+        one_port = HLSEngine(mem_ports=1).synthesize(module, "simple")
+        two_ports = HLSEngine(mem_ports=2).synthesize(module, "simple")
+        assert one_port.total_cycles >= two_ports.total_cycles
+
+
+class TestSynthesis:
+    def test_report_structure(self):
+        _, module = _affine_module(SIMPLE)
+        report = synthesize_kernel(module, "simple")
+        assert report.total_cycles > 0
+        assert report.resources.lut > 0
+        assert report.bytes_in == 2 * 32 * 8
+        assert report.bytes_out == 32 * 8
+        assert "kernel simple" in report.summary()
+
+    def test_reduction_carries_recurrence(self):
+        _, module = _affine_module(REDUCTION)
+        report = synthesize_kernel(module, "dotp")
+        # The accumulation nest must be recurrence-bound (f64 add > 1).
+        assert any(nest.rec_mii > 1 for nest in report.nests)
+
+    def test_format_sweep_monotone(self):
+        _, module = _affine_module(FIG3_MAJOR_ABSORBER)
+        f64 = synthesize_kernel(module, "tau_major")
+        f32 = synthesize_kernel(module, "tau_major",
+                                number_format=make_format("f32"))
+        fixed = synthesize_kernel(module, "tau_major",
+                                  number_format=make_format("fixed<8.8>"))
+        assert f32.total_cycles < f64.total_cycles
+        assert fixed.total_cycles < f64.total_cycles
+        assert f32.resources.dsp < f64.resources.dsp
+
+    def test_non_affine_function_rejected(self):
+        module = Module()
+        from repro.ir import build_func
+
+        _, _, fb = build_func(module, "plain", [], [])
+        fb.create("func.return", [])
+        with pytest.raises(HLSError):
+            synthesize_kernel(module, "plain")
+
+    def test_latency_seconds_scales_with_clock(self):
+        _, module = _affine_module(SIMPLE)
+        slow = HLSEngine(clock_mhz=150).synthesize(module, "simple")
+        fast = HLSEngine(clock_mhz=300).synthesize(module, "simple")
+        assert slow.latency_seconds == pytest.approx(
+            2 * fast.latency_seconds
+        )
+
+
+class TestBackendEmission:
+    def test_fsm_and_hw_emission_verify(self):
+        _, module = _affine_module(SIMPLE)
+        target = Module()
+        engine = HLSEngine()
+        fsm = engine.emit_fsm(module, "simple", target)
+        hw = engine.emit_hw(module, "simple", target)
+        verify(target)
+        states = fsm.attr("states")
+        assert states[0]["name"] == "idle"
+        assert states[-1]["name"] == "done"
+        ports = hw.attr("ports")
+        assert {p["name"] for p in ports} >= {"a", "b", "c"}
+
+    def test_fig5_backend_edges(self):
+        from repro.dialects import lowering_for
+
+        _, module = _affine_module(SIMPLE)
+        fsm_module = lowering_for("affine", "fsm")(module)
+        hw_module = lowering_for("affine", "hw")(module)
+        verify(fsm_module)
+        verify(hw_module)
+        assert any(op.name == "fsm.machine" for op in fsm_module.body)
+        assert any(op.name == "hw.module" for op in hw_module.body)

@@ -1,0 +1,166 @@
+"""Tests for custom data formats: fixed point, posit, small floats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EverestError
+from repro.numerics import (
+    FixedPointFormat,
+    FloatFormat,
+    PositFormat,
+    error_report,
+    format_bits,
+    make_format,
+    quantization_sweep,
+    quantize,
+)
+
+
+class TestFixedPoint:
+    def test_basic_quantization(self):
+        fmt = FixedPointFormat(8, 8)
+        np.testing.assert_allclose(fmt.quantize([1.5, -2.25]), [1.5, -2.25])
+
+    def test_resolution(self):
+        fmt = FixedPointFormat(4, 4)
+        assert fmt.resolution == 1 / 16
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(4, 4)  # max ~7.9375
+        assert fmt.quantize(100.0) == fmt.max_value
+        assert fmt.quantize(-100.0) == fmt.min_value
+
+    def test_wrapping_mode(self):
+        fmt = FixedPointFormat(4, 0, saturate=False)
+        # 8 wraps to -8 in 4-bit two's complement.
+        assert fmt.quantize(8.0) == -8.0
+
+    def test_unsigned_range(self):
+        fmt = FixedPointFormat(4, 4, signed=False)
+        assert fmt.min_value == 0.0
+        assert fmt.quantize(-1.0) == 0.0
+
+    def test_arithmetic_add_mul(self):
+        fmt = FixedPointFormat(8, 8)
+        a, b = fmt.encode(1.5), fmt.encode(2.5)
+        assert fmt.decode(fmt.add(a, b)) == 4.0
+        assert fmt.decode(fmt.mul(a, b)) == pytest.approx(3.75)
+
+    def test_division_by_zero(self):
+        fmt = FixedPointFormat(8, 8)
+        with pytest.raises(EverestError):
+            fmt.div(fmt.encode(1.0), fmt.encode(0.0))
+
+    def test_width_limit(self):
+        with pytest.raises(EverestError):
+            FixedPointFormat(40, 40)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(-100, 100))
+    def test_quantization_error_bounded(self, x):
+        fmt = FixedPointFormat(8, 8)
+        q = float(fmt.quantize(x))
+        assert abs(q - x) <= fmt.resolution / 2 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(-7, 7), st.floats(-7, 7))
+    def test_add_matches_real_within_lsb(self, x, y):
+        fmt = FixedPointFormat(8, 8)
+        got = fmt.decode(fmt.add(fmt.encode(x), fmt.encode(y)))
+        assert abs(float(got) - (x + y)) <= 2 * fmt.resolution
+
+
+class TestPosit:
+    @pytest.mark.parametrize("es", [0, 1, 2])
+    def test_exhaustive_roundtrip_8bit(self, es):
+        fmt = PositFormat(8, es)
+        for bits in range(256):
+            value = fmt.decode_one(bits)
+            if np.isnan(value):
+                continue
+            assert fmt.encode_one(value) == bits, hex(bits)
+
+    def test_known_values(self):
+        fmt = PositFormat(16, 1)
+        assert fmt.encode_one(1.0) == 0x4000
+        assert fmt.decode_one(0x4000) == 1.0
+        assert fmt.encode_one(-1.0) == 0xC000
+        assert fmt.encode_one(0.0) == 0
+        assert np.isnan(fmt.decode_one(fmt.nar))
+
+    def test_saturation_at_maxpos(self):
+        fmt = PositFormat(8, 0)
+        huge = fmt.encode_one(1e30)
+        assert fmt.decode_one(huge) == fmt.maxpos
+
+    def test_never_rounds_to_zero(self):
+        fmt = PositFormat(16, 1)
+        tiny = fmt.encode_one(1e-300)
+        assert fmt.decode_one(tiny) == fmt.minpos
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=1e-4, max_value=1e4))
+    def test_quantization_monotone(self, x):
+        fmt = PositFormat(16, 1)
+        qa = float(fmt.quantize(x))
+        qb = float(fmt.quantize(x * 1.01))
+        assert qb >= qa
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3))
+    def test_add_commutative(self, x, y):
+        fmt = PositFormat(16, 1)
+        a, b = fmt.encode(x), fmt.encode(y)
+        assert fmt.add(a, b) == fmt.add(b, a)
+
+    def test_relative_error_small_near_one(self):
+        fmt = PositFormat(16, 1)
+        xs = np.linspace(0.5, 2.0, 100)
+        rel = np.abs(fmt.quantize(xs) - xs) / xs
+        # posit<16,1> has ~12 fraction bits near 1.0.
+        assert rel.max() < 2**-11
+
+
+class TestFloatFormats:
+    def test_f32_roundtrip(self):
+        xs = np.array([1.0, np.pi, -2.5e7])
+        np.testing.assert_array_equal(
+            FloatFormat("f32").quantize(xs),
+            xs.astype(np.float32).astype(np.float64),
+        )
+
+    def test_bf16_mantissa_truncation(self):
+        q = float(FloatFormat("bf16").quantize(1.0 + 2**-10))
+        assert q in (1.0, 1.0078125)  # 7-bit mantissa neighbours
+
+    def test_bf16_preserves_nan(self):
+        assert np.isnan(FloatFormat("bf16").quantize(float("nan")))
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(EverestError):
+            FloatFormat("f8")
+
+
+class TestFormatSpecs:
+    @pytest.mark.parametrize("spec,bits", [
+        ("f64", 64), ("f32", 32), ("bf16", 16),
+        ("fixed<8.8>", 16), ("ufixed<4.12>", 16), ("posit<16,1>", 16),
+    ])
+    def test_make_format_and_bits(self, spec, bits):
+        assert format_bits(make_format(spec)) == bits
+
+    def test_bad_spec(self):
+        with pytest.raises(EverestError):
+            make_format("float128")
+
+    def test_sweep_orders_error_by_precision(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 1, 500)
+        reports = quantization_sweep(data, ["f64", "f32", "bf16"])
+        assert reports["f64"].rms_error == 0.0
+        assert reports["f32"].rms_error < reports["bf16"].rms_error
+
+    def test_error_report_shape_mismatch(self):
+        with pytest.raises(EverestError):
+            error_report(np.zeros(3), np.zeros(4))

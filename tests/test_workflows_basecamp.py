@@ -1,0 +1,173 @@
+"""Tests for workflows, microservices, DOSA and the basecamp CLI."""
+
+import numpy as np
+import pytest
+
+from repro.basecamp.cli import main
+from repro.dosa import OSA_CLOUDFPGA, coverage, partition_model, simulate_pipeline
+from repro.errors import WorkflowError
+from repro.frontends.condrust import FIG4_MAP_MATCHING
+from repro.frontends.ekl import FIG3_MAJOR_ABSORBER
+from repro.frontends.onnx_front import example_cnn
+from repro.runtime import default_cluster
+from repro.workflows import (
+    LexisPlatform,
+    MicroserviceRegistry,
+    Request,
+    WorkflowSpec,
+    WorkflowTask,
+)
+
+
+class TestLexis:
+    def _spec(self):
+        spec = WorkflowSpec("forecast")
+        spec.add(WorkflowTask("ingest", lambda: 10))
+        spec.add(WorkflowTask("simulate", lambda x: x * 2,
+                              after=["ingest"]))
+        spec.add(WorkflowTask("predict", lambda x: x + 1,
+                              after=["simulate"]))
+        return spec
+
+    def test_deploy_and_results(self):
+        platform = LexisPlatform(default_cluster(2))
+        client = platform.deploy(self._spec())
+        client.compute()
+        results = platform.results("forecast")
+        assert results["predict"] == 21
+
+    def test_fpga_marking_changes_placement(self):
+        spec = self._spec()
+        spec.mark_for_fpga("simulate", fpga_seconds=1e-3)
+        assert spec.task("simulate").location == "fpga"
+        platform = LexisPlatform(default_cluster(2))
+        client = platform.deploy(spec)
+        schedule = client.compute()
+        task = next(t for t in client.graph.tasks.values()
+                    if t.name == "simulate")
+        node = schedule.placements[task.task_id].node
+        assert client.cluster.node(node).has_fpga
+
+    def test_cyclic_workflow_rejected(self):
+        spec = WorkflowSpec("bad")
+        spec.add(WorkflowTask("a", lambda: 0, after=["b"]))
+        spec.add(WorkflowTask("b", lambda: 0, after=["a"]))
+        with pytest.raises(WorkflowError):
+            LexisPlatform(default_cluster(1)).deploy(spec)
+
+    def test_duplicate_task_rejected(self):
+        spec = WorkflowSpec("dup")
+        spec.add(WorkflowTask("a", lambda: 0))
+        with pytest.raises(WorkflowError):
+            spec.add(WorkflowTask("a", lambda: 0))
+
+
+class TestMicroservices:
+    def test_register_and_call(self):
+        registry = MicroserviceRegistry()
+
+        @registry.service("POST", "/detect")
+        def detect(request: Request) -> dict:
+            return {"count": len(request.payload["data"])}
+
+        response = registry.call("POST", "/detect", {"data": [1, 2, 3]})
+        assert response.ok
+        assert response.body["count"] == 3
+
+    def test_missing_route_404(self):
+        registry = MicroserviceRegistry()
+        assert registry.call("GET", "/nope").status == 404
+
+    def test_handler_error_500(self):
+        registry = MicroserviceRegistry()
+        registry.register("GET", "/boom",
+                          lambda req: 1 / 0)
+        assert registry.call("GET", "/boom").status == 500
+
+    def test_duplicate_route_rejected(self):
+        registry = MicroserviceRegistry()
+        registry.register("GET", "/a", lambda r: {})
+        with pytest.raises(WorkflowError):
+            registry.register("GET", "/a", lambda r: {})
+
+
+class TestDOSA:
+    def test_coverage_check(self):
+        model = example_cnn()
+        assert all(coverage(model, OSA_CLOUDFPGA).values())
+
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4])
+    def test_partition_functional_equivalence(self, ranks):
+        model = example_cnn()
+        plan = partition_model(model, ranks)
+        assert plan.num_ranks == ranks
+        samples = [np.random.default_rng(i).normal(size=model.input_shape)
+                   for i in range(3)]
+        expected = [model.forward(s) for s in samples]
+        result = simulate_pipeline(plan, samples)
+        for got, want in zip(result["outputs"], expected):
+            np.testing.assert_allclose(got, want)
+
+    def test_partitions_are_contiguous_and_complete(self):
+        model = example_cnn()
+        plan = partition_model(model, 3)
+        covered = [i for p in plan.partitions for i in p.layer_indices]
+        assert covered == list(range(len(model.layers)))
+
+    def test_throughput_positive(self):
+        plan = partition_model(example_cnn(), 2)
+        assert plan.throughput_fps() > 0
+
+
+class TestBasecampCLI(object):
+    def test_compile_report(self, tmp_path, capsys):
+        source = tmp_path / "k.ekl"
+        source.write_text(FIG3_MAJOR_ABSORBER)
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel tau_major" in out
+
+    def test_synthesize_with_format(self, tmp_path, capsys):
+        source = tmp_path / "k.ekl"
+        source.write_text(FIG3_MAJOR_ABSORBER)
+        assert main(["synthesize", str(source), "--format",
+                     "fixed<8.8>"]) == 0
+        assert "fixed" in capsys.readouterr().out
+
+    def test_olympus_dse(self, tmp_path, capsys):
+        source = tmp_path / "k.ekl"
+        source.write_text(FIG3_MAJOR_ABSORBER)
+        assert main(["olympus", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "design space" in out and "selected:" in out
+
+    def test_dialects_graph(self, capsys):
+        assert main(["dialects"]) == 0
+        out = capsys.readouterr().out
+        assert "ekl -> esn" in out
+        assert "[ok]" in out
+
+    def test_condrust(self, tmp_path, capsys):
+        source = tmp_path / "m.rs"
+        source.write_text(FIG4_MAP_MATCHING)
+        assert main(["condrust", str(source)]) == 0
+        assert "dfg.graph" in capsys.readouterr().out
+
+    def test_detect(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        data = np.concatenate([rng.normal(0, 1, (120, 2)),
+                               rng.normal(8, 0.5, (6, 2))])
+        path = tmp_path / "d.csv"
+        np.savetxt(path, data, delimiter=",")
+        out = tmp_path / "report.json"
+        assert main(["detect", str(path), "--output", str(out),
+                     "--trials", "8"]) == 0
+        assert out.exists()
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        assert "alveo-u55c" in capsys.readouterr().out
+
+    def test_error_reported_cleanly(self, capsys):
+        assert main(["compile", "/nonexistent.ekl"]) == 1
+        assert "error" in capsys.readouterr().err
