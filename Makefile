@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke docs-check examples all
+
+all: test docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+# bench_*.py does not match pytest's default file glob; list explicitly.
+bench-smoke:
+	$(PYTHON) -m pytest -x -q --benchmark-disable benchmarks/bench_*.py
+
+docs-check:
+	$(PYTHON) tools/check_docs.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/custom_formats_dse.py

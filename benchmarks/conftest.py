@@ -9,18 +9,11 @@ import repro.dialects  # noqa: F401 (registration side effect)
 @pytest.fixture(scope="session")
 def rrtmg_affine():
     """The Fig. 3 kernel lowered to affine loops (shared across benches)."""
-    from repro.frontends.ekl import FIG3_MAJOR_ABSORBER, parse_kernel
-    from repro.frontends.ekl.lower import (
-        lower_ekl_to_esn,
-        lower_kernel_to_ekl,
-    )
-    from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+    from repro.frontends.ekl import FIG3_MAJOR_ABSORBER
+    from repro.pipeline import PipelineSession
 
-    kernel = parse_kernel(FIG3_MAJOR_ABSORBER)
-    module = lower_teil_to_affine(
-        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
-    )
-    return kernel, module
+    result = PipelineSession().lower(FIG3_MAJOR_ABSORBER)
+    return result.kernel, result.module
 
 
 @pytest.fixture(scope="session")

@@ -1,9 +1,10 @@
 """Custom data formats + design-space exploration (paper §V-B/§V-C).
 
-Synthesizes the RRTMG kernel in five numeric formats, prints the
-accuracy/resource/latency trade-off table, then lets Olympus explore
-replication/buffering/packing and the mARGOt autotuner pick an operating
-point under a latency constraint.
+Synthesizes the RRTMG kernel in five numeric formats with one parallel
+:meth:`PipelineSession.format_sweep`, prints the accuracy/resource/latency
+trade-off table, then lets Olympus explore replication/buffering/packing
+and the mARGOt autotuner pick an operating point under a latency
+constraint.
 
 Run:  python examples/custom_formats_dse.py
 """
@@ -12,20 +13,13 @@ import numpy as np
 
 from repro.apps.wrf.rrtmg import tau_major_reference
 from repro.autotuner import Constraint, MargotManager, OperatingPoint, Rank
-from repro.frontends.ekl import FIG3_MAJOR_ABSORBER, parse_kernel
-from repro.frontends.ekl.lower import lower_ekl_to_esn, lower_kernel_to_ekl
-from repro.hls import synthesize_kernel
+from repro.frontends.ekl import FIG3_MAJOR_ABSORBER
 from repro.numerics import error_report, make_format, quantize
-from repro.olympus import OlympusGenerator
-from repro.platforms import alveo_u55c
-from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+from repro.pipeline import PipelineSession
 
 
 def main() -> None:
-    kernel = parse_kernel(FIG3_MAJOR_ABSORBER)
-    module = lower_teil_to_affine(
-        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
-    )
+    session = PipelineSession()
     rng = np.random.default_rng(0)
     inputs = dict(
         press=rng.uniform(0.1, 1.0, 16), strato=np.asarray(0.4),
@@ -38,10 +32,12 @@ def main() -> None:
     )
     reference = tau_major_reference(inputs)
 
+    # Data-format DSE: one parallel sweep, five synthesis points.
+    formats = ["f64", "f32", "bf16", "fixed<8.8>", "posit<16,1>"]
+    reports = session.format_sweep(FIG3_MAJOR_ABSORBER, formats,
+                                   parallel=True)
     print("format        cycles      LUT    DSP  BRAM   max rel err")
-    for spec in ("f64", "f32", "bf16", "fixed<8.8>", "posit<16,1>"):
-        fmt = None if spec == "f64" else make_format(spec)
-        report = synthesize_kernel(module, kernel.name, number_format=fmt)
+    for spec, report in reports.items():
         if spec == "f64":
             err = 0.0
         else:
@@ -54,14 +50,14 @@ def main() -> None:
         print(f"{spec:12s} {report.total_cycles:8d} {r.lut:8d} {r.dsp:6d}"
               f" {r.bram:5d}   {err:.2e}")
 
-    # Olympus DSE -> mARGOt knowledge -> constrained selection.
-    report = synthesize_kernel(module, kernel.name)
-    generator = OlympusGenerator(alveo_u55c())
+    # Olympus DSE (cache-hot: the f64 compile is reused) -> mARGOt
+    # knowledge -> constrained selection.
+    olympus = session.olympus(FIG3_MAJOR_ABSORBER, parallel=True)
     knowledge = [
         OperatingPoint({"config": cfg.label()},
                        {"latency_us": breakdown.total * 1e6,
                         "bram": float(res.bram)})
-        for cfg, breakdown, res in generator.explore(report)
+        for cfg, breakdown, res in olympus.points
     ]
     manager = MargotManager(knowledge)
     manager.add_constraint(Constraint("latency_us", upper_bound=50.0))
@@ -71,6 +67,7 @@ def main() -> None:
           f"{chosen.knobs['config']} "
           f"({chosen.metrics['latency_us']:.1f} us, "
           f"{chosen.metrics['bram']:.0f} BRAM)")
+    print(f"\n{session.report.summary()}")
     print("custom-formats DSE OK")
 
 

@@ -1,49 +1,41 @@
 """Quickstart: compile the paper's Fig. 3 kernel end to end.
 
-Runs the complete SDK flow on the RRTMG major-absorber kernel: EKL source
--> MLIR dialects -> affine loops -> HLS -> Olympus system architecture ->
-simulated execution — and checks the compiled result against the language
-semantics.
+Runs the complete SDK flow on the RRTMG major-absorber kernel through one
+:class:`repro.pipeline.PipelineSession`: EKL source -> MLIR dialects ->
+affine loops -> HLS -> Olympus system architecture -> simulated execution
+— and checks the compiled result against the language semantics.  The
+session's stage report at the end shows where the compile spent its time.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.frontends.ekl import FIG3_MAJOR_ABSORBER, Interpreter, parse_kernel
-from repro.frontends.ekl.lower import lower_ekl_to_esn, lower_kernel_to_ekl
-from repro.hls import synthesize_kernel
-from repro.olympus import OlympusGenerator
-from repro.platforms import alveo_u55c
-from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+from repro.frontends.ekl import FIG3_MAJOR_ABSORBER, Interpreter
+from repro.pipeline import PipelineSession
 from repro.tensorpipe.affine_interp import run_affine
 
 
 def main() -> None:
-    # 1. Parse the EVEREST Kernel Language source (the paper's Fig. 3).
-    kernel = parse_kernel(FIG3_MAJOR_ABSORBER)
+    session = PipelineSession()
+
+    # 1.-3. Parse the EVEREST Kernel Language source (the paper's Fig. 3),
+    # lower it through the MLIR dialect pipeline (ekl -> esn -> teil ->
+    # affine, the Fig. 5 path) and synthesize it.
+    result = session.compile(FIG3_MAJOR_ABSORBER)
+    kernel, module, report = result.kernel, result.module, result.report
     print(f"parsed kernel {kernel.name!r} "
           f"({len(kernel.inputs)} inputs, {len(kernel.body)} statements)")
-
-    # 2. Lower through the MLIR dialect pipeline: ekl -> esn -> teil ->
-    #    affine loop nests (the Fig. 5 path).
-    module = lower_teil_to_affine(
-        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
-    )
     print("lowered to affine loops")
-
-    # 3. High-level synthesis: latency, II and FPGA resources.
-    report = synthesize_kernel(module, kernel.name)
     print(report.summary().splitlines()[0])
 
-    # 4. Olympus: pick the best system architecture on an Alveo u55c.
-    generator = OlympusGenerator(alveo_u55c())
-    config = generator.best_config(report)
-    system = generator.generate("quickstart", [report],
-                                {report.name: config})
-    latency = system.estimates[report.name].total
-    print(f"olympus selected {config.label()}: "
-          f"{latency * 1e6:.1f} us per invocation on {system.device.name}")
+    # 4. Olympus: pick the best system architecture on an Alveo u55c —
+    # the compile stages above are cache hits inside this call.
+    olympus = session.olympus(FIG3_MAJOR_ABSORBER, parallel=True)
+    latency = olympus.system.estimates[report.name].total
+    print(f"olympus selected {olympus.best.label()}: "
+          f"{latency * 1e6:.1f} us per invocation "
+          f"on {olympus.system.device.name}")
 
     # 5. Execute: the compiled loops must match the language semantics.
     rng = np.random.default_rng(0)
@@ -60,6 +52,9 @@ def main() -> None:
     compiled = run_affine(module, kernel.name, inputs)["tau_abs"]
     print(f"compiled vs. interpreted: max |diff| = "
           f"{np.abs(compiled - expected).max():.2e}")
+
+    # 6. Where did the time go?  The session kept score.
+    print(session.report.summary())
     print("quickstart OK")
 
 

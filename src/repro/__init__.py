@@ -24,6 +24,8 @@ in Python with simulated FPGA substrates:
 * :mod:`repro.workflows` — LEXIS-like deployment and microservices;
 * :mod:`repro.apps` — the four driving use cases (weather, energy,
   air quality, traffic);
+* :mod:`repro.pipeline` — the compile orchestrator (paper Fig. 2):
+  stage registry, content-hash caching, parallel DSE sweeps;
 * :mod:`repro.basecamp` — the single-entry ``basecamp`` command.
 """
 

@@ -7,11 +7,17 @@ Subcommands mirror the SDK's phases (paper §IV):
   custom data format;
 * ``basecamp olympus <kernel.ekl> --device alveo-u55c`` — system-level
   architecture generation with DSE;
+* ``basecamp pipeline <kernel.ekl>`` — the full Fig. 2 flow with the
+  per-stage timing/caching report;
 * ``basecamp dialects`` — the registered dialect graph (Fig. 5);
 * ``basecamp condrust <program.rs>`` — parse/check/lower a coordination
   program;
 * ``basecamp detect <data.csv>`` — AutoML anomaly detection to JSON;
 * ``basecamp info`` — platform catalog.
+
+The EKL-compiling subcommands all run through one process-wide
+:class:`repro.pipeline.PipelineSession`, so invoking several of them on
+the same kernel (or the same one twice) reuses the cached stages.
 """
 
 from __future__ import annotations
@@ -23,63 +29,72 @@ from typing import Optional
 from repro.errors import EverestError
 
 
-def _compile_to_affine(source_path: str):
-    from repro.frontends.ekl import parse_kernel
-    from repro.frontends.ekl.lower import (
-        lower_ekl_to_esn,
-        lower_kernel_to_ekl,
-    )
-    from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
-
+def _read_source(source_path: str) -> str:
+    # Read here (not in the session) so a missing path stays a clean
+    # FileNotFoundError instead of a parse error on the path string.
     with open(source_path) as handle:
-        kernel = parse_kernel(handle.read())
-    module = lower_teil_to_affine(
-        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
-    )
-    return kernel, module
+        return handle.read()
+
+
+def _session():
+    from repro.pipeline import get_session
+
+    return get_session()
+
+
+def _compile_to_affine(source_path: str):
+    """The pre-session compile helper, now a thin session wrapper.
+
+    No in-repo callers remain; kept one release as a stable shim for
+    out-of-tree scripts that drove the old CLI internals.
+    """
+    result = _session().lower(_read_source(source_path))
+    return result.kernel, result.module
 
 
 def cmd_compile(args) -> int:
-    from repro.ir import print_module, verify
-
-    kernel, module = _compile_to_affine(args.source)
-    verify(module)
+    source = _read_source(args.source)
     if args.emit == "mlir":
-        print(print_module(module))
-    else:
-        from repro.hls import synthesize_kernel
+        from repro.ir import print_module
 
-        report = synthesize_kernel(module, kernel.name)
-        print(report.summary())
+        result = _session().lower(source)
+        print(print_module(result.module))
+    else:
+        result = _session().compile(source)
+        print(result.report.summary())
     return 0
 
 
 def cmd_synthesize(args) -> int:
-    from repro.hls import synthesize_kernel
-    from repro.numerics import make_format
-
-    kernel, module = _compile_to_affine(args.source)
-    fmt = make_format(args.format) if args.format else None
-    report = synthesize_kernel(module, kernel.name, number_format=fmt)
-    print(report.summary())
+    result = _session().compile(_read_source(args.source),
+                                number_format=args.format)
+    print(result.report.summary())
     return 0
 
 
 def cmd_olympus(args) -> int:
-    from repro.hls import synthesize_kernel
-    from repro.olympus import OlympusGenerator
-    from repro.platforms import device_by_name
-
-    kernel, module = _compile_to_affine(args.source)
-    report = synthesize_kernel(module, kernel.name)
-    generator = OlympusGenerator(device_by_name(args.device))
-    print(f"design space for {kernel.name} on {args.device}:")
-    for config, latency, resources in generator.explore(report):
+    result = _session().olympus(_read_source(args.source),
+                                device=args.device,
+                                parallel=not args.serial)
+    print(f"design space for {result.system.instances[0].name} "
+          f"on {args.device}:")
+    for config, latency, resources in result.points:
         print(f"  {config.label():18s} latency={latency.total * 1e6:10.2f}us"
               f"  LUT={resources.lut:8d} DSP={resources.dsp:6d}"
               f" BRAM={resources.bram:5d}")
-    best = generator.best_config(report)
-    print(f"selected: {best.label()}")
+    print(f"selected: {result.best.label()}")
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    session = _session()
+    plan = session.deploy(_read_source(args.source), device=args.device,
+                          nodes=args.nodes, parallel=not args.serial)
+    schedule = plan.schedule
+    print(f"deployed on {args.nodes} nodes: "
+          f"{len(schedule.placements)} task(s), "
+          f"makespan {schedule.makespan * 1e6:.2f} us")
+    print(session.report.summary())
     return 0
 
 
@@ -165,7 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("olympus", help="system-level architecture DSE")
     p.add_argument("source")
     p.add_argument("--device", default="alveo-u55c")
+    p.add_argument("--serial", action="store_true",
+                   help="disable the parallel DSE fan-out")
     p.set_defaults(fn=cmd_olympus)
+
+    p = sub.add_parser("pipeline",
+                       help="full Fig. 2 flow with the stage report")
+    p.add_argument("source")
+    p.add_argument("--device", default="alveo-u55c")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--serial", action="store_true",
+                   help="disable the parallel DSE fan-out")
+    p.set_defaults(fn=cmd_pipeline)
 
     p = sub.add_parser("dialects", help="the Fig. 5 dialect graph")
     p.set_defaults(fn=cmd_dialects)

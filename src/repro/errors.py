@@ -62,6 +62,10 @@ class OlympusError(EverestError):
     """System-level architecture generation failed."""
 
 
+class PipelineError(EverestError):
+    """Compile-orchestration misuse: unknown stage, bad stage wiring."""
+
+
 class RuntimeSchedulingError(EverestError):
     """The resource manager could not schedule or execute a task graph."""
 

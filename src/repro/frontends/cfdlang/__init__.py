@@ -1,4 +1,4 @@
-"""CFDlang: the legacy tensor DSL for high-order fluid-dynamics methods.
+"""CFDlang: the legacy tensor DSL for fluid-dynamics methods (paper §V-A1).
 
 The paper lists CFDlang (Rink et al., RWDSL 2018) among the DSLs the SDK
 "leverages for physics simulations"; its dialect lowers to TeIL just like

@@ -1,4 +1,4 @@
-"""High-level synthesis engine (the Vitis HLS / Bambu role in the SDK).
+"""High-level synthesis engine (the Vitis HLS / Bambu role, paper §IV, §V-B).
 
 Pipeline: lowered ``affine`` functions are scheduled nest by nest
 (:mod:`repro.hls.scheduling`), costed (:mod:`repro.hls.resources`), and

@@ -1,4 +1,4 @@
-"""A compact MLIR-style intermediate representation.
+"""A compact MLIR-style intermediate representation (paper §V, Fig. 5).
 
 This package provides the IR substrate the EVEREST SDK reproduction is built
 on: types, attributes, generic operations with regions, a builder, a textual

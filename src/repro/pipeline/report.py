@@ -1,0 +1,97 @@
+"""Structured per-stage instrumentation of a pipeline session.
+
+Every stage execution (or cache hit) appends a :class:`StageTiming` event
+to the session's :class:`PipelineReport` — the SDK-level analogue of the
+per-kernel :class:`repro.hls.KernelReport`.  The report answers "where did
+this compile spend its time, and what did the cache save?".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class StageTiming:
+    """One stage execution event."""
+
+    stage: str
+    seconds: float
+    cached: bool
+    parallel: bool = False
+    detail: str = ""
+
+
+@dataclass
+class PipelineReport:
+    """The accumulated timing/caching record of one session."""
+
+    events: List[StageTiming] = field(default_factory=list)
+
+    def record(self, stage: str, seconds: float, *, cached: bool,
+               parallel: bool = False, detail: str = "") -> StageTiming:
+        event = StageTiming(stage, seconds, cached, parallel, detail)
+        self.events.append(event)
+        return event
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.events if e.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for e in self.events if not e.cached)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Total executed (non-cached) seconds per stage name."""
+        totals: Dict[str, float] = {}
+        for event in self.events:
+            if not event.cached:
+                totals[event.stage] = totals.get(event.stage, 0.0) \
+                    + event.seconds
+        return totals
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total_seconds": self.total_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "events": [
+                {"stage": e.stage, "seconds": e.seconds, "cached": e.cached,
+                 "parallel": e.parallel, "detail": e.detail}
+                for e in self.events
+            ],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"pipeline: {len(self.events)} stage events, "
+            f"{self.total_seconds * 1e3:.1f} ms executed, "
+            f"{self.cache_hits} cache hits / {self.cache_misses} misses"
+        ]
+        for event in self.events:
+            mark = "cache" if event.cached else f"{event.seconds * 1e3:8.2f}ms"
+            flags = " [parallel]" if event.parallel else ""
+            detail = f"  ({event.detail})" if event.detail else ""
+            lines.append(f"  {event.stage:18s} {mark:>10s}{flags}{detail}")
+        return "\n".join(lines)
+
+
+class StageClock:
+    """Context manager measuring one stage execution."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def __enter__(self) -> "StageClock":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.seconds = time.perf_counter() - self._start

@@ -1,0 +1,301 @@
+""":class:`PipelineSession` — the SDK's compile orchestrator.
+
+One session owns a stage registry, a content-hash stage cache and a
+:class:`PipelineReport`.  High-level helpers (:meth:`compile`,
+:meth:`olympus`, :meth:`deploy`, :meth:`format_sweep`,
+:meth:`olympus_sweep`) compose the built-in stages into the paper's Fig. 2
+flow; repeated compiles of the same kernel/config skip completed phases,
+and DSE sweeps fan out over a ``concurrent.futures`` executor while
+returning results bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EverestError, PipelineError
+from repro.pipeline.cache import StageCache, fingerprint
+from repro.pipeline.report import PipelineReport, StageClock
+from repro.pipeline.stage import Stage, StageRegistry
+from repro.pipeline.stages import (
+    CompileResult,
+    DeploymentPlan,
+    OlympusResult,
+    builtin_stages,
+)
+
+
+class PipelineSession:
+    """Registers named stages and orchestrates cached, instrumented runs.
+
+    Parameters
+    ----------
+    max_workers:
+        Fan-out width for parallel DSE sweeps (defaults to CPU count,
+        capped at 8).
+    register_builtins:
+        Install the standard Fig. 2 stages (``frontend-parse``,
+        ``dialect-lowering``, ``hls``, ``olympus``, ``schedule``).
+    """
+
+    def __init__(self, *, max_workers: Optional[int] = None,
+                 register_builtins: bool = True):
+        self.registry = StageRegistry()
+        self.cache = StageCache()
+        self.report = PipelineReport()
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        if register_builtins:
+            for name, fn, description in builtin_stages():
+                self.registry.register(Stage(name, fn, description))
+
+    # -- stage management --------------------------------------------------------------
+
+    def register(self, name: str, fn: Callable[..., Any], *,
+                 description: str = "", cacheable: bool = True,
+                 replace: bool = False) -> Stage:
+        """Register a custom stage under ``name``."""
+        return self.registry.register(
+            Stage(name, fn, description, cacheable), replace=replace)
+
+    def stages(self) -> List[str]:
+        return self.registry.names()
+
+    # -- the cached stage runner -------------------------------------------------------
+
+    def run_stage(self, name: str, payload: Any, *, key: str,
+                  params: Optional[Dict[str, Any]] = None,
+                  runtime_params: Optional[Dict[str, Any]] = None,
+                  parallel: bool = False,
+                  detail: str = "") -> Tuple[str, Any]:
+        """Run one registered stage with caching and timing.
+
+        ``key`` is the fingerprint of the upstream payload; the stage's own
+        key chains it with the stage name and ``params``.
+        ``runtime_params`` are forwarded to the stage function but excluded
+        from the fingerprint (executors, callbacks — values that do not
+        change the result).
+
+        Returns ``(stage_key, result)``.
+        """
+        stage = self.registry.get(name)
+        params = dict(params or {})
+        stage_key = self.stage_key(name, params, key)
+        if stage.cacheable:
+            hit, value = self.cache.lookup(stage_key)
+            if hit:
+                self.report.record(name, 0.0, cached=True, parallel=parallel,
+                                   detail=detail)
+                return stage_key, value
+        call_params = dict(params)
+        call_params.update(runtime_params or {})
+        with StageClock() as clock:
+            try:
+                value = stage(payload, **call_params)
+            except EverestError:
+                raise
+            except (TypeError, ValueError, KeyError) as error:
+                raise PipelineError(
+                    f"stage {name!r} failed: {error}") from error
+        if stage.cacheable:
+            self.cache.store(stage_key, value)
+        self.report.record(name, clock.seconds, cached=False,
+                           parallel=parallel, detail=detail)
+        return stage_key, value
+
+    def stage_key(self, name: str,
+                  params: Optional[Dict[str, Any]] = None,
+                  upstream_key: str = "") -> str:
+        """The cache key one stage run would use (shared by all probes).
+
+        Includes the stage's registration generation so a stage replaced
+        via ``register(..., replace=True)`` never serves results cached
+        from the previous implementation.
+        """
+        return fingerprint(name, self.registry.generation(name),
+                           dict(params or {}), upstream_key)
+
+    # -- source handling ---------------------------------------------------------------
+
+    @staticmethod
+    def read_source(source: str) -> str:
+        """Accept EKL text directly or a path to a kernel file.
+
+        A whitespace-free one-liner cannot be a kernel, so it is always
+        treated as a path — a typo'd path raises
+        :class:`FileNotFoundError` instead of degenerating into a parse
+        error on the path string.
+        """
+        if "\n" not in source:
+            candidate = source.strip()
+            if candidate and " " not in candidate and "\t" not in candidate:
+                with open(candidate) as handle:
+                    return handle.read()
+            if os.path.exists(source):
+                with open(source) as handle:
+                    return handle.read()
+        return source
+
+    def _source_key(self, text: str) -> str:
+        return fingerprint("ekl-source", text)
+
+    # -- high-level flows --------------------------------------------------------------
+
+    def frontend(self, source: str) -> Tuple[str, Any]:
+        """Parse EKL source; returns ``(key, kernel)``."""
+        text = self.read_source(source)
+        return self.run_stage("frontend-parse", text,
+                              key=self._source_key(text))
+
+    def lower(self, source: str) -> CompileResult:
+        """Frontend + dialect lowering: source -> verified affine module."""
+        # Normalize once; run_stage directly so the file contents are
+        # never themselves re-probed as a path.
+        text = self.read_source(source)
+        key, kernel = self.run_stage("frontend-parse", text,
+                                     key=self._source_key(text))
+        key, module = self.run_stage("dialect-lowering", kernel, key=key)
+        return CompileResult(text, kernel, module, key=key)
+
+    def compile(self, source: str, *,
+                number_format: Optional[str] = None,
+                clock_mhz: float = 300.0) -> CompileResult:
+        """The full compile flow: parse, lower, synthesize.
+
+        ``number_format`` is a compact spec (``"f32"``, ``"fixed<8.8>"``,
+        ``"posit<16,1>"``); ``None`` synthesizes in f64.
+        """
+        result = self.lower(source)
+        if number_format == "f64":
+            number_format = None  # share the default-format cache entry
+        params = {"number_format": number_format, "clock_mhz": clock_mhz}
+        key, report = self.run_stage("hls", (result.kernel, result.module),
+                                     key=result.key, params=params,
+                                     detail=number_format or "f64")
+        result.report = report
+        result.key = key
+        return result
+
+    def olympus(self, source: str, *, device: str = "alveo-u55c",
+                max_replicas: Optional[int] = None,
+                number_format: Optional[str] = None,
+                parallel: bool = False) -> OlympusResult:
+        """Compile then explore/generate the system architecture."""
+        compiled = self.compile(source, number_format=number_format)
+        params = {"device": device, "max_replicas": max_replicas,
+                  "system_name": f"{compiled.report.name}_system"}
+        runtime: Dict[str, Any] = {}
+        # Don't spin up an executor just to discover a cache hit.
+        if parallel and not self.cache.contains(
+                self.stage_key("olympus", params, compiled.key)):
+            runtime["executor"] = self._executor()
+        try:
+            key, result = self.run_stage("olympus", compiled.report,
+                                         key=compiled.key, params=params,
+                                         runtime_params=runtime,
+                                         parallel=parallel, detail=device)
+        finally:
+            executor = runtime.get("executor")
+            if executor is not None:
+                executor.shutdown()
+        result.key = key
+        return result
+
+    def deploy(self, source: str, *, device: str = "alveo-u55c",
+               nodes: int = 4, parallel: bool = False) -> DeploymentPlan:
+        """The end-to-end Fig. 2 flow, through the runtime schedule."""
+        olympus = self.olympus(source, device=device, parallel=parallel)
+        _, plan = self.run_stage("schedule", olympus, key=olympus.key,
+                                 params={"nodes": nodes})
+        return plan
+
+    # -- parallel DSE sweeps -----------------------------------------------------------
+
+    def format_sweep(self, source: str,
+                     formats: Sequence[Optional[str]], *,
+                     parallel: bool = True,
+                     clock_mhz: float = 300.0) -> Dict[str, Any]:
+        """Synthesize one kernel under many number formats (§V-B DSE).
+
+        Returns ``{spec: KernelReport}`` in the order ``formats`` was
+        given — identical whether the sweep ran serially or fanned out.
+        ``None`` (or ``"f64"``) selects the default double-precision path.
+        """
+        compiled = self.lower(source)
+        key = compiled.key
+        specs = [fmt if fmt else "f64" for fmt in formats]
+        jobs: List[Tuple[str, Dict[str, Any]]] = []
+        for spec in specs:
+            number_format = None if spec == "f64" else spec
+            jobs.append((spec, {"number_format": number_format,
+                                "clock_mhz": clock_mhz}))
+        payload = (compiled.kernel, compiled.module)
+
+        if not parallel or len(jobs) <= 1:
+            return {
+                spec: self.run_stage("hls", payload, key=key, params=params,
+                                     detail=spec)[1]
+                for spec, params in jobs
+            }
+
+        results: Dict[str, Any] = {}
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [
+                pool.submit(self.run_stage, "hls", payload, key=key,
+                            params=params, parallel=True, detail=spec)
+                for spec, params in jobs
+            ]
+            for (spec, _), future in zip(jobs, futures):
+                results[spec] = future.result()[1]
+        return results
+
+    def olympus_sweep(self, source: str, devices: Sequence[str], *,
+                      max_replicas: Optional[int] = None,
+                      parallel: bool = True) -> Dict[str, OlympusResult]:
+        """Explore the system design space across target devices (§V-C).
+
+        Returns ``{device: OlympusResult}`` in input order; the parallel
+        path returns exactly the serial results.
+        """
+        compiled = self.compile(source)
+
+        def run_one(device: str) -> OlympusResult:
+            params = {"device": device, "max_replicas": max_replicas,
+                      "system_name": f"{compiled.report.name}_system"}
+            key, result = self.run_stage("olympus", compiled.report,
+                                         key=compiled.key, params=params,
+                                         parallel=parallel, detail=device)
+            result.key = key
+            return result
+
+        if not parallel or len(devices) <= 1:
+            return {device: run_one(device) for device in devices}
+        results: Dict[str, OlympusResult] = {}
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(run_one, device) for device in devices]
+            for device, future in zip(devices, futures):
+                results[device] = future.result()
+        return results
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+
+_GLOBAL_SESSION: Optional[PipelineSession] = None
+
+
+def get_session() -> PipelineSession:
+    """The process-wide default session (used by the ``basecamp`` CLI)."""
+    global _GLOBAL_SESSION
+    if _GLOBAL_SESSION is None:
+        _GLOBAL_SESSION = PipelineSession()
+    return _GLOBAL_SESSION
+
+
+def reset_session() -> None:
+    """Drop the process-wide session (tests, long-lived services)."""
+    global _GLOBAL_SESSION
+    _GLOBAL_SESSION = None

@@ -1,0 +1,174 @@
+"""Built-in pipeline stages: the Fig. 2 SDK flow as composable phases.
+
+Each function here implements one :class:`repro.pipeline.Stage`:
+
+========================  =====================================================
+``frontend-parse``        EKL source text -> kernel AST (§V-A1)
+``dialect-lowering``      kernel AST -> verified ``affine`` module (Fig. 5)
+``hls``                   affine module -> :class:`KernelReport`, optionally
+                          under a custom data format (§V-B)
+``olympus``               kernel report -> DSE points, best config and the
+                          generated :class:`SystemArchitecture` (§V-C)
+``schedule``              system architecture -> EVP deployment IR and a HEFT
+                          schedule on the testbed cluster (§VI-A)
+========================  =====================================================
+
+The stage payload dataclasses (:class:`CompileResult`,
+:class:`OlympusResult`, :class:`DeploymentPlan`) are the session's public
+result types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import PipelineError
+
+
+@dataclass
+class CompileResult:
+    """Frontend + lowering (+ optional HLS) output for one kernel."""
+
+    source: str
+    kernel: Any = None            # repro.frontends.ekl.ast.Kernel
+    module: Any = None            # repro.ir.Module (affine)
+    report: Any = None            # repro.hls.KernelReport
+    key: str = ""                 # fingerprint of the last completed stage
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name if self.kernel is not None else "<unparsed>"
+
+
+@dataclass
+class OlympusResult:
+    """Design-space exploration + system generation output."""
+
+    device_name: str
+    points: List[Tuple[Any, Any, Any]] = field(default_factory=list)
+    best: Any = None              # ArchConfig
+    system: Any = None            # SystemArchitecture
+    ir: Any = None                # olympus-dialect Module
+    key: str = ""                 # fingerprint of the olympus stage
+
+
+@dataclass
+class DeploymentPlan:
+    """EVP deployment IR plus the runtime schedule of the system."""
+
+    deployment_ir: Any = None     # evp-dialect Module
+    schedule: Any = None          # repro.runtime.ScheduleResult
+    cluster_nodes: int = 0
+
+
+# -- stage implementations -------------------------------------------------------------
+#
+# Heavy SDK imports stay inside the stage bodies: importing repro.pipeline
+# must stay cheap (the basecamp CLI imports it for --help).
+
+
+def stage_frontend_parse(source: str) -> Any:
+    """``frontend-parse``: EKL text -> kernel AST."""
+    from repro.frontends.ekl import parse_kernel
+
+    return parse_kernel(source)
+
+
+def stage_dialect_lowering(kernel: Any) -> Any:
+    """``dialect-lowering``: ekl -> esn -> teil -> affine, then verify."""
+    import repro.dialects  # noqa: F401 (registration side effect)
+    from repro.frontends.ekl.lower import (
+        lower_ekl_to_esn,
+        lower_kernel_to_ekl,
+    )
+    from repro.ir import verify
+    from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+
+    module = lower_teil_to_affine(
+        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
+    )
+    verify(module)
+    return module
+
+
+def stage_hls(payload: Tuple[Any, Any], *,
+              number_format: Optional[str] = None,
+              clock_mhz: float = 300.0) -> Any:
+    """``hls``: (kernel, affine module) -> :class:`KernelReport`.
+
+    ``number_format`` is a compact spec string (``"f32"``, ``"fixed<8.8>"``,
+    ``"posit<16,1>"``; ``None`` means the default f64) so that the stage
+    parameters stay fingerprintable.
+    """
+    from repro.hls import synthesize_kernel
+    from repro.numerics import make_format
+
+    kernel, module = payload
+    fmt = make_format(number_format) if number_format else None
+    return synthesize_kernel(module, kernel.name, number_format=fmt,
+                             clock_mhz=clock_mhz)
+
+
+def stage_olympus(report: Any, *, device: str = "alveo-u55c",
+                  max_replicas: Optional[int] = None,
+                  system_name: Optional[str] = None,
+                  executor: Any = None) -> OlympusResult:
+    """``olympus``: kernel report -> DSE points + generated system.
+
+    ``executor`` (a :class:`concurrent.futures.Executor`) parallelizes the
+    per-config latency/resource evaluation; results are identical to the
+    serial path and ordered by candidate enumeration order.
+    """
+    from repro.olympus import OlympusGenerator
+    from repro.platforms import device_by_name
+
+    generator = OlympusGenerator(device_by_name(device))
+    points = generator.explore(report, max_replicas, executor=executor)
+    best = min(points, key=lambda p: p[1].total)[0]
+    system = generator.generate(system_name or f"{report.name}_system",
+                                [report], {report.name: best})
+    return OlympusResult(device, points, best, system,
+                         generator.emit_ir(system))
+
+
+def stage_schedule(olympus: OlympusResult, *,
+                   nodes: int = 4) -> DeploymentPlan:
+    """``schedule``: system -> EVP deployment IR + HEFT cluster schedule."""
+    from repro.olympus import lower_olympus_to_evp
+    from repro.runtime import (
+        HEFTScheduler,
+        ResourceRequest,
+        TaskGraph,
+        default_cluster,
+    )
+
+    if olympus.system is None:
+        raise PipelineError("schedule stage needs a generated system "
+                            "(run the olympus stage first)")
+    graph = TaskGraph()
+    for instance in olympus.system.instances:
+        seconds = olympus.system.estimates[instance.name].total
+        graph.add(lambda: None, (), {},
+                  ResourceRequest(fpga=True, fpga_seconds=seconds),
+                  output_bytes=instance.report.bytes_out,
+                  tuning=None, name=instance.name)
+    cluster = default_cluster(nodes)
+    schedule = HEFTScheduler().schedule(graph, cluster)
+    return DeploymentPlan(lower_olympus_to_evp(olympus.ir), schedule, nodes)
+
+
+def builtin_stages() -> List[Tuple[str, Any, str]]:
+    """(name, fn, description) triples for the default registry."""
+    return [
+        ("frontend-parse", stage_frontend_parse,
+         "EKL source text -> kernel AST"),
+        ("dialect-lowering", stage_dialect_lowering,
+         "kernel AST -> verified affine module"),
+        ("hls", stage_hls,
+         "affine module -> HLS kernel report"),
+        ("olympus", stage_olympus,
+         "kernel report -> DSE + system architecture"),
+        ("schedule", stage_schedule,
+         "system architecture -> deployment IR + HEFT schedule"),
+    ]

@@ -1,4 +1,4 @@
-"""The tensor compilation pipeline: esn -> teil -> affine loop nests.
+"""The tensor compilation pipeline: esn -> teil -> affine (paper §V-A, Fig. 5).
 
 This package implements the middle of the paper's Fig. 5: the Einstein
 notation dialect (``esn``) is lowered into the Tensor Intermediate Language

@@ -1,0 +1,346 @@
+"""Tests for the PipelineSession compile-orchestration subsystem."""
+
+import pytest
+
+from repro.errors import EverestError, FrontendError, PipelineError
+from repro.frontends.ekl import FIG3_MAJOR_ABSORBER
+from repro.ir import print_module
+from repro.pipeline import (
+    PipelineSession,
+    Stage,
+    fingerprint,
+    get_session,
+    reset_session,
+)
+
+FORMATS = ["f64", "f32", "bf16", "fixed<8.8>", "posit<16,1>"]
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_insensitive_for_dicts(self):
+        a = fingerprint("hls", {"number_format": "f32", "clock_mhz": 300.0})
+        b = fingerprint("hls", {"clock_mhz": 300.0, "number_format": "f32"})
+        assert a == b
+
+    def test_distinguishes_params(self):
+        base = fingerprint("hls", {"number_format": None}, "k")
+        other = fingerprint("hls", {"number_format": "f32"}, "k")
+        assert base != other
+
+    def test_distinguishes_upstream_keys(self):
+        assert fingerprint("s", {}, "key1") != fingerprint("s", {}, "key2")
+
+    def test_rejects_address_based_identity(self):
+        class Opaque:  # default __str__/__repr__ print the address
+            pass
+
+        with pytest.raises(TypeError, match="fingerprint"):
+            fingerprint("stage", {"param": Opaque()})
+
+    def test_accepts_objects_with_deterministic_repr(self):
+        from repro.numerics import make_format
+
+        a = fingerprint(make_format("fixed<8.8>"))
+        b = fingerprint(make_format("fixed<8.8>"))
+        assert a == b
+
+
+class TestStageCaching:
+    def test_second_compile_hits_every_stage(self):
+        session = PipelineSession()
+        first = session.compile(FIG3_MAJOR_ABSORBER)
+        misses = session.report.cache_misses
+        second = session.compile(FIG3_MAJOR_ABSORBER)
+        # All three stages (parse, lowering, hls) came from the cache.
+        assert session.report.cache_misses == misses
+        assert session.report.cache_hits >= 3
+        assert second.report is first.report
+        assert second.module is first.module
+
+    def test_format_change_is_a_miss_for_hls_only(self):
+        session = PipelineSession()
+        session.compile(FIG3_MAJOR_ABSORBER)
+        misses = session.report.cache_misses
+        session.compile(FIG3_MAJOR_ABSORBER, number_format="f32")
+        assert session.report.cache_misses == misses + 1  # the hls stage
+
+    def test_explicit_f64_shares_default_cache_entry(self):
+        session = PipelineSession()
+        default = session.compile(FIG3_MAJOR_ABSORBER)
+        misses = session.report.cache_misses
+        explicit = session.compile(FIG3_MAJOR_ABSORBER, number_format="f64")
+        assert session.report.cache_misses == misses
+        assert explicit.report is default.report
+
+    def test_cache_stats_exposed(self):
+        session = PipelineSession()
+        session.compile(FIG3_MAJOR_ABSORBER)
+        session.compile(FIG3_MAJOR_ABSORBER)
+        assert session.cache.stats.hits >= 3
+        assert session.cache.stats.misses >= 3
+        assert 0.0 < session.cache.stats.hit_rate < 1.0
+
+    def test_distinct_sources_do_not_share_entries(self):
+        session = PipelineSession()
+        session.frontend(FIG3_MAJOR_ABSORBER)
+        with pytest.raises(EverestError):
+            session.frontend("kernel broken(x: [4]f64) -> {")
+        # The failure did not poison the cache for the good kernel.
+        misses = session.report.cache_misses
+        session.frontend(FIG3_MAJOR_ABSORBER)
+        assert session.report.cache_misses == misses
+
+
+class TestSourceHandling:
+    def test_path_accepted(self, tmp_path):
+        source = tmp_path / "k.ekl"
+        source.write_text(FIG3_MAJOR_ABSORBER)
+        result = PipelineSession().lower(str(source))
+        assert result.kernel.name == "tau_major"
+
+    def test_missing_ekl_path_raises_file_not_found(self):
+        with pytest.raises(FileNotFoundError):
+            PipelineSession().lower("kernels/typo.ekl")
+
+    def test_missing_path_any_extension_raises_file_not_found(self):
+        # A whitespace-free one-liner cannot be a kernel: always a path.
+        with pytest.raises(FileNotFoundError):
+            PipelineSession().lower("kernels/typo.txt")
+
+    def test_inline_text_accepted(self):
+        result = PipelineSession().lower(FIG3_MAJOR_ABSORBER)
+        assert result.kernel.name == "tau_major"
+
+
+class TestCompileEquivalence:
+    def test_matches_hand_chained_lowering(self):
+        from repro.frontends.ekl import parse_kernel
+        from repro.frontends.ekl.lower import (
+            lower_ekl_to_esn,
+            lower_kernel_to_ekl,
+        )
+        from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+
+        kernel = parse_kernel(FIG3_MAJOR_ABSORBER)
+        legacy = lower_teil_to_affine(
+            lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
+        )
+        result = PipelineSession().lower(FIG3_MAJOR_ABSORBER)
+        assert print_module(result.module) == print_module(legacy)
+        assert result.kernel.name == kernel.name
+
+    def test_compile_report_matches_direct_synthesis(self):
+        from repro.hls import synthesize_kernel
+
+        session = PipelineSession()
+        result = session.compile(FIG3_MAJOR_ABSORBER)
+        direct = synthesize_kernel(result.module, result.kernel.name)
+        assert result.report.total_cycles == direct.total_cycles
+        assert result.report.resources.lut == direct.resources.lut
+
+
+class TestParallelDSE:
+    def test_format_sweep_parallel_matches_serial(self):
+        parallel = PipelineSession().format_sweep(
+            FIG3_MAJOR_ABSORBER, FORMATS, parallel=True)
+        serial = PipelineSession().format_sweep(
+            FIG3_MAJOR_ABSORBER, FORMATS, parallel=False)
+        assert list(parallel) == list(serial) == FORMATS
+        for spec in FORMATS:
+            assert parallel[spec].total_cycles == serial[spec].total_cycles
+            assert parallel[spec].resources.lut == serial[spec].resources.lut
+            assert parallel[spec].number_format == serial[spec].number_format
+
+    def test_olympus_parallel_matches_serial(self):
+        par = PipelineSession().olympus(FIG3_MAJOR_ABSORBER, parallel=True)
+        ser = PipelineSession().olympus(FIG3_MAJOR_ABSORBER, parallel=False)
+        assert par.best.label() == ser.best.label()
+        assert [(c.label(), b.total) for c, b, _ in par.points] \
+            == [(c.label(), b.total) for c, b, _ in ser.points]
+
+    def test_generator_explore_executor_matches_serial(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.olympus import OlympusGenerator
+        from repro.platforms import alveo_u55c
+
+        session = PipelineSession()
+        report = session.compile(FIG3_MAJOR_ABSORBER).report
+        generator = OlympusGenerator(alveo_u55c())
+        serial = generator.explore(report)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            parallel = generator.explore(report, executor=pool)
+        assert [(c.label(), b.total, r.lut) for c, b, r in serial] \
+            == [(c.label(), b.total, r.lut) for c, b, r in parallel]
+
+    def test_generator_explore_process_pool_matches_serial(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.olympus import OlympusGenerator
+        from repro.platforms import alveo_u55c
+
+        report = PipelineSession().compile(FIG3_MAJOR_ABSORBER).report
+        generator = OlympusGenerator(alveo_u55c())
+        serial = generator.explore(report)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            parallel = generator.explore(report, executor=pool)
+        assert [(c.label(), b.total) for c, b, _ in serial] \
+            == [(c.label(), b.total) for c, b, _ in parallel]
+
+    def test_olympus_sweep_over_devices(self):
+        results = PipelineSession().olympus_sweep(
+            FIG3_MAJOR_ABSORBER, ["alveo-u55c", "alveo-u280"])
+        assert list(results) == ["alveo-u55c", "alveo-u280"]
+        for device, result in results.items():
+            assert result.system.fits()
+            assert result.device_name == device
+        # Each sweep result carries its own stage key (distinct per
+        # device) so downstream run_stage chaining cannot collide.
+        keys = [result.key for result in results.values()]
+        assert all(keys) and len(set(keys)) == len(keys)
+
+
+class TestStageProtocol:
+    def test_custom_stage_registration_and_run(self):
+        session = PipelineSession()
+        session.register("double", lambda payload: payload * 2,
+                         description="toy stage")
+        key, value = session.run_stage("double", 21, key="root")
+        assert value == 42
+        # Cached on the second run with the same upstream key.
+        _, again = session.run_stage("double", 21, key="root")
+        assert again == 42
+        assert session.report.events[-1].cached
+
+    def test_duplicate_stage_rejected(self):
+        session = PipelineSession()
+        with pytest.raises(PipelineError):
+            session.register("hls", lambda payload: payload)
+        session.register("hls", lambda payload: payload, replace=True)
+
+    def test_replaced_stage_does_not_serve_stale_cache(self):
+        session = PipelineSession()
+        session.register("shout", lambda payload: payload.upper())
+        _, first = session.run_stage("shout", "hi", key="root")
+        assert first == "HI"
+        session.register("shout", lambda payload: payload + "!",
+                         replace=True)
+        _, second = session.run_stage("shout", "hi", key="root")
+        assert second == "hi!"  # re-ran, not the replaced stage's cache
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineSession().run_stage("nope", None, key="root")
+
+    def test_builtin_stage_names(self):
+        names = PipelineSession().stages()
+        for expected in ("frontend-parse", "dialect-lowering", "hls",
+                         "olympus", "schedule"):
+            assert expected in names
+
+
+class TestFailurePropagation:
+    def test_frontend_error_propagates(self):
+        with pytest.raises(FrontendError):
+            PipelineSession().compile("kernel broken(x: [4]f64) -> {")
+
+    def test_stage_valueerror_wrapped_as_pipeline_error(self):
+        session = PipelineSession()
+
+        def explode(payload):
+            raise ValueError("boom")
+
+        session.register("explode", explode)
+        with pytest.raises(PipelineError, match="explode"):
+            session.run_stage("explode", None, key="root")
+
+    def test_failed_stage_not_cached(self):
+        session = PipelineSession()
+        calls = []
+
+        def flaky(payload):
+            calls.append(payload)
+            raise ValueError("boom")
+
+        session.register("flaky", flaky)
+        for _ in range(2):
+            with pytest.raises(PipelineError):
+                session.run_stage("flaky", 1, key="root")
+        assert len(calls) == 2  # re-executed, not served from cache
+
+    def test_schedule_without_system_rejected(self):
+        from repro.pipeline import OlympusResult
+
+        session = PipelineSession()
+        with pytest.raises(PipelineError):
+            session.run_stage("schedule", OlympusResult("alveo-u55c"),
+                              key="root")
+
+
+class TestDeploy:
+    def test_end_to_end_deploy(self):
+        session = PipelineSession()
+        plan = session.deploy(FIG3_MAJOR_ABSORBER, nodes=2)
+        assert plan.schedule.makespan > 0
+        assert plan.cluster_nodes == 2
+        assert any(op.name == "func.func"
+                   for op in plan.deployment_ir.body)
+
+    def test_report_summary_mentions_stages(self):
+        session = PipelineSession()
+        session.compile(FIG3_MAJOR_ABSORBER)
+        summary = session.report.summary()
+        for stage in ("frontend-parse", "dialect-lowering", "hls"):
+            assert stage in summary
+        as_dict = session.report.as_dict()
+        assert as_dict["cache_misses"] == 3
+        assert len(as_dict["events"]) == 3
+
+
+class TestGlobalSession:
+    def test_get_session_is_singleton(self):
+        reset_session()
+        try:
+            assert get_session() is get_session()
+        finally:
+            reset_session()
+
+    def test_cli_reuses_session_cache(self, tmp_path, capsys):
+        from repro.basecamp.cli import main
+
+        reset_session()
+        try:
+            source = tmp_path / "k.ekl"
+            source.write_text(FIG3_MAJOR_ABSORBER)
+            assert main(["compile", str(source)]) == 0
+            session = get_session()
+            misses = session.report.cache_misses
+            assert main(["synthesize", str(source)]) == 0
+            # Same kernel, same (default) format: fully cache-served.
+            assert session.report.cache_misses == misses
+            assert main(["olympus", str(source)]) == 0
+            capsys.readouterr()
+        finally:
+            reset_session()
+
+    def test_cli_nonzero_exit_on_everest_error(self, tmp_path, capsys):
+        from repro.basecamp.cli import main
+
+        source = tmp_path / "bad.ekl"
+        source.write_text("kernel broken(x: [4]f64) -> {")
+        assert main(["compile", str(source)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_cli_pipeline_subcommand(self, tmp_path, capsys):
+        from repro.basecamp.cli import main
+
+        reset_session()
+        try:
+            source = tmp_path / "k.ekl"
+            source.write_text(FIG3_MAJOR_ABSORBER)
+            assert main(["pipeline", str(source), "--nodes", "2"]) == 0
+            out = capsys.readouterr().out
+            assert "makespan" in out
+            assert "schedule" in out
+        finally:
+            reset_session()
