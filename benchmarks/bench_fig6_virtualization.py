@@ -6,6 +6,8 @@ and exercises the dynamic VF plug/unplug mechanism driven by resource-
 allocator demands.
 """
 
+import pytest
+
 from repro.platforms import alveo_u55c
 from repro.runtime.virtualization import (
     EMULATED_OVERHEAD,
@@ -53,6 +55,41 @@ def test_fig6_sriov_near_native(benchmark):
     assert sriov_time / kernel_seconds <= 1.05  # within 5% of native
     assert emulated_time > sriov_time
     assert SRIOV_OVERHEAD < EMULATED_OVERHEAD
+
+
+def test_fig6_sriov_overhead_through_engine(benchmark):
+    """The virtualized access path as the runtime engine models it: an
+    FPGA task dispatched by any policy pays the SR-IOV overhead on top
+    of the raw kernel time — compared across policies through the single
+    engine entry point."""
+    from repro.runtime import (
+        Cluster,
+        Node,
+        ResourceRequest,
+        RuntimeEngine,
+    )
+
+    kernel_seconds = 1e-3
+
+    def run_policies():
+        makespans = {}
+        for policy in ("heft", "round-robin", "min-load"):
+            cluster = Cluster([Node("host0", fpgas=[]),
+                               Node("acc0", fpgas=[alveo_u55c()])])
+            engine = RuntimeEngine(cluster, policy=policy)
+            engine.submit(lambda: 0,
+                          resources=ResourceRequest(
+                              fpga=True, fpga_seconds=kernel_seconds))
+            makespans[policy] = engine.run().makespan
+        return makespans
+
+    makespans = benchmark(run_policies)
+    for policy, makespan in makespans.items():
+        assert makespan == pytest.approx(kernel_seconds * SRIOV_OVERHEAD)
+        assert makespan / kernel_seconds <= 1.05  # near-native
+    print(f"\n  engine FPGA makespans: "
+          + ", ".join(f"{p}={m * 1e3:.4f}ms"
+                      for p, m in makespans.items()))
 
 
 def test_fig6_dynamic_plugging(benchmark):

@@ -13,6 +13,9 @@ Subcommands mirror the SDK's phases (paper §IV):
 * ``basecamp condrust <program.rs>`` — parse/check/lower a coordination
   program;
 * ``basecamp detect <data.csv>`` — AutoML anomaly detection to JSON;
+* ``basecamp runtime --policy heft|round-robin|min-load|all`` — run a
+  synthetic workflow through the event-driven runtime engine, optionally
+  injecting a node failure (``--fail node1@5.0``);
 * ``basecamp info`` — platform catalog.
 
 The EKL-compiling subcommands all run through one process-wide
@@ -144,6 +147,48 @@ def cmd_detect(args) -> int:
     return 0
 
 
+def cmd_runtime(args) -> int:
+    from repro.errors import EverestError
+    from repro.runtime import ClusterMonitor, default_cluster
+    from repro.runtime.engine import (
+        POLICIES,
+        RuntimeEngine,
+        synthetic_workflow,
+    )
+
+    policies = sorted(POLICIES) if args.policy == "all" else [args.policy]
+    failure = None
+    if args.fail:
+        node, _, at = args.fail.partition("@")
+        try:
+            failure = (node, float(at))
+        except ValueError:
+            raise EverestError(
+                f"--fail wants NODE@SIM_SECONDS, got {args.fail!r}"
+            ) from None
+        if not node:
+            raise EverestError(
+                f"--fail wants NODE@SIM_SECONDS, got {args.fail!r}"
+            )
+    print(f"runtime engine: {args.tasks} tasks on {args.nodes} node(s)"
+          + (f", failing {failure[0]} at t={failure[1]:g}s" if failure
+             else ""))
+    for policy in policies:
+        cluster = default_cluster(args.nodes)
+        engine = RuntimeEngine(cluster, policy=policy)
+        synthetic_workflow(engine, n_tasks=args.tasks, seed=args.seed,
+                           fpga_fraction=args.fpga_fraction)
+        if failure:
+            engine.fail_node_at(failure[1], failure[0])
+        result = engine.run()
+        report = ClusterMonitor(cluster).utilization(result)
+        print(f"  {policy:12s} makespan={result.makespan:9.3f}s"
+              f"  transfers={result.transfers_seconds * 1e3:7.2f}ms"
+              f"  imbalance={report.imbalance:5.2f}"
+              f"  rescheduled={result.rescheduled_tasks}")
+    return 0
+
+
 def cmd_info(args) -> int:
     from repro.platforms import CATALOG
 
@@ -205,6 +250,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None)
     p.add_argument("--trials", type=int, default=20)
     p.set_defaults(fn=cmd_detect)
+
+    p = sub.add_parser("runtime",
+                       help="run a workflow through the event-driven "
+                            "runtime engine")
+    p.add_argument("--policy", default="all",
+                   help="heft | round-robin | min-load | all")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--tasks", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fpga-fraction", type=float, default=0.0,
+                   help="fraction of tasks marked for FPGA offload")
+    p.add_argument("--fail", default=None, metavar="NODE@SIM_SECONDS",
+                   help="inject a node failure mid-run, e.g. node1@5.0")
+    p.set_defaults(fn=cmd_runtime)
 
     p = sub.add_parser("info", help="platform catalog")
     p.set_defaults(fn=cmd_info)

@@ -1,0 +1,37 @@
+"""The event-driven EVEREST runtime engine (§VI-A).
+
+One discrete-event loop unifies the resource manager's four duties —
+dependency-aware scheduling, load balancing, data transfers, and
+monitoring with mid-run rescheduling — behind pluggable policies:
+
+* :class:`RuntimeEngine` — the engine: simulated clock, real execution
+  on a thread pool, streaming submission, in-loop failure recovery;
+* :class:`SchedulingPolicy` — the policy protocol; ``heft`` and
+  ``round-robin`` (offline, from :mod:`repro.runtime.scheduler`) and
+  :class:`MinLoadPolicy` (``min-load``, online) implement it;
+* :data:`POLICIES` / :func:`resolve_policy` — the policy registry used
+  by the ``basecamp runtime --policy`` CLI;
+* :func:`synthetic_workflow` — shared workload generator.
+"""
+
+from repro.runtime.engine.core import RuntimeEngine
+from repro.runtime.engine.events import Event, EventQueue, SimClock
+from repro.runtime.engine.policies import (
+    POLICIES,
+    MinLoadPolicy,
+    SchedulingPolicy,
+    resolve_policy,
+)
+from repro.runtime.engine.workloads import synthetic_workflow
+
+__all__ = [
+    "RuntimeEngine",
+    "Event",
+    "EventQueue",
+    "SimClock",
+    "POLICIES",
+    "MinLoadPolicy",
+    "SchedulingPolicy",
+    "resolve_policy",
+    "synthetic_workflow",
+]

@@ -1,0 +1,88 @@
+"""Discrete-event machinery: the simulated clock and the event queue.
+
+The :class:`~repro.runtime.engine.RuntimeEngine` advances a simulated
+clock from event to event.  Ties at the same timestamp are broken by a
+fixed kind priority so the semantics match the offline resource manager:
+
+* a task *finishing* at ``t`` survives a node failure at ``t`` (the seed
+  :func:`~repro.runtime.scheduler.reschedule_after_failure` keeps
+  ``finish <= failure_time`` results);
+* failures are detected before new work is dispatched or started;
+* heartbeats observe the state *after* everything else at ``t`` happened.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import RuntimeSchedulingError
+
+TASK_FINISH = "task-finish"
+NODE_FAILURE = "node-failure"
+CALLBACK = "callback"
+DISPATCH = "dispatch"
+TASK_START = "task-start"
+HEARTBEAT = "heartbeat"
+
+_PRIORITY = {
+    TASK_FINISH: 0,
+    NODE_FAILURE: 1,
+    CALLBACK: 2,
+    DISPATCH: 3,
+    TASK_START: 4,
+    HEARTBEAT: 5,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    time: float
+    priority: int
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class SimClock:
+    """Monotonic simulated time."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def advance(self, to: float) -> None:
+        if to < self.now - 1e-12:
+            raise RuntimeSchedulingError(
+                f"simulated clock cannot run backwards "
+                f"({self.now} -> {to})"
+            )
+        self.now = max(self.now, to)
+
+
+class EventQueue:
+    """A heap of :class:`Event` ordered by (time, kind priority, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        if kind not in _PRIORITY:
+            raise RuntimeSchedulingError(f"unknown event kind {kind!r}")
+        event = Event(time, _PRIORITY[kind], next(self._seq), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -6,20 +6,31 @@ resource requests; (2) load-balances the computation when necessary; (3)
 performs data transfers when an input of a task is computed on a different
 node; (4) monitors the cluster and reschedules tasks if needed."
 
-Two schedulers are provided: :class:`HEFTScheduler` (upward-rank list
-scheduling with earliest-finish-time placement — the production policy) and
-:class:`RoundRobinScheduler` (the baseline the scheduling benchmark
-compares against).  :func:`reschedule_after_failure` implements (4).
+Two *offline* scheduling policies are provided: :class:`HEFTScheduler`
+(upward-rank list scheduling with earliest-finish-time placement — the
+production policy) and :class:`RoundRobinScheduler` (the baseline the
+scheduling benchmark compares against).  Both implement the
+:class:`~repro.runtime.engine.SchedulingPolicy` protocol, so they plug
+directly into the event-driven :class:`~repro.runtime.engine.RuntimeEngine`,
+which executes duty (4) — monitoring and mid-run rescheduling — in its
+event loop.  :func:`reschedule_after_failure` remains as the offline
+repair helper for callers that hold a finished schedule.
+
+Placement queries go through the event-sweep
+:class:`~repro.runtime.timeline.NodeTimeline` index; pass
+``timelines=`` to schedule *into* live node state (the engine does this
+so streamed jobs share capacity correctly).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import RuntimeSchedulingError
 from repro.runtime.cluster import Cluster, Node
 from repro.runtime.taskgraph import Task, TaskGraph
+from repro.runtime.timeline import NodeTimeline
 
 
 @dataclass
@@ -81,45 +92,43 @@ def _task_runtime(task: Task, node: Node) -> float:
     return task.runtime_on_cpu(node)
 
 
-class _NodeTimeline:
-    """Core-capacity-aware placement onto one node."""
+def _can_host(task: Task, node: Node) -> bool:
+    """A node can host a task only if the core request physically fits.
 
-    def __init__(self, node: Node):
-        self.node = node
-        self.intervals: List[Tuple[float, float, int]] = []
+    The seed scheduler silently overcommitted a node when a task asked
+    for more cores than the node has; such nodes are now skipped, and a
+    task no node can host raises :class:`RuntimeSchedulingError`.
+    """
+    return task.resources.cores <= node.cores
 
-    def _usage_at(self, t0: float, t1: float) -> int:
-        peak = 0
-        points = {t0}
-        for s, e, c in self.intervals:
-            if s < t1 and e > t0:
-                points.add(max(s, t0))
-        for point in points:
-            used = sum(c for s, e, c in self.intervals
-                       if s <= point < e)
-            peak = max(peak, used)
-        return peak
 
-    def earliest_start(self, ready: float, duration: float,
-                       cores: int) -> float:
-        candidates = sorted({ready} | {
-            e for _, e, _ in self.intervals if e > ready
-        })
-        for candidate in candidates:
-            if self._usage_at(candidate, candidate + duration) + cores \
-                    <= self.node.cores:
-                return candidate
-        return candidates[-1] if candidates else ready
+def _unplaceable(task: Task) -> RuntimeSchedulingError:
+    need = "an FPGA" if task.resources.fpga \
+        else f"{task.resources.cores} cores"
+    return RuntimeSchedulingError(
+        f"task {task.name!r} requires {need} but no alive node "
+        "can provide it"
+    )
 
-    def commit(self, start: float, duration: float, cores: int) -> None:
-        self.intervals.append((start, start + duration, cores))
+
+# Kept as the seed-compatible internal name; the engine and benchmarks
+# import the public class from repro.runtime.timeline.
+_NodeTimeline = NodeTimeline
 
 
 class HEFTScheduler:
     """Heterogeneous-Earliest-Finish-Time list scheduling."""
 
+    name = "heft"
+    online = False
+
+    def __init__(self, timeline_factory: Callable[[Node], NodeTimeline]
+                 = NodeTimeline):
+        self.timeline_factory = timeline_factory
+
     def schedule(self, graph: TaskGraph, cluster: Cluster,
-                 ready_overrides: Optional[Dict[int, float]] = None
+                 ready_overrides: Optional[Dict[int, float]] = None,
+                 timelines: Optional[Dict[str, NodeTimeline]] = None
                  ) -> ScheduleResult:
         nodes = cluster.alive_nodes()
         if not nodes:
@@ -129,13 +138,15 @@ class HEFTScheduler:
         order = sorted(tasks, key=lambda t: -ranks[t.task_id])
         # Respect dependencies: stable-sort by rank but never before deps.
         order = self._dependency_respecting(order, graph)
-        timelines = {n.name: _NodeTimeline(n) for n in nodes}
+        if timelines is None:
+            timelines = {n.name: self.timeline_factory(n) for n in nodes}
         result = ScheduleResult()
         for task in order:
             best: Optional[Placement] = None
+            best_comm = 0.0
             for node in nodes:
                 runtime = _task_runtime(task, node)
-                if runtime == float("inf"):
+                if runtime == float("inf") or not _can_host(task, node):
                     continue
                 ready = (ready_overrides or {}).get(task.task_id, 0.0)
                 comm = 0.0
@@ -157,10 +168,7 @@ class HEFTScheduler:
                     best = candidate
                     best_comm = comm
             if best is None:
-                raise RuntimeSchedulingError(
-                    f"task {task.name!r} requires an FPGA but no alive "
-                    "node has one"
-                )
+                raise _unplaceable(task)
             timelines[best.node].commit(best.start, best.duration,
                                         task.resources.cores)
             result.placements[task.task_id] = best
@@ -212,11 +220,22 @@ class HEFTScheduler:
 class RoundRobinScheduler:
     """The naive baseline: assign tasks to nodes in rotation."""
 
+    name = "round-robin"
+    online = False
+
+    def __init__(self, timeline_factory: Callable[[Node], NodeTimeline]
+                 = NodeTimeline):
+        self.timeline_factory = timeline_factory
+
     def schedule(self, graph: TaskGraph, cluster: Cluster,
-                 ready_overrides: Optional[Dict[int, float]] = None
+                 ready_overrides: Optional[Dict[int, float]] = None,
+                 timelines: Optional[Dict[str, NodeTimeline]] = None
                  ) -> ScheduleResult:
         nodes = cluster.alive_nodes()
-        timelines = {n.name: _NodeTimeline(n) for n in nodes}
+        if not nodes:
+            raise RuntimeSchedulingError("no alive nodes")
+        if timelines is None:
+            timelines = {n.name: self.timeline_factory(n) for n in nodes}
         result = ScheduleResult()
         index = 0
         for task in graph.topological_order():
@@ -226,12 +245,10 @@ class RoundRobinScheduler:
                 index += 1
                 attempts += 1
                 runtime = _task_runtime(task, node)
-                if runtime != float("inf"):
+                if runtime != float("inf") and _can_host(task, node):
                     break
                 if attempts > len(nodes):
-                    raise RuntimeSchedulingError(
-                        f"task {task.name!r} cannot run anywhere"
-                    )
+                    raise _unplaceable(task)
             ready = (ready_overrides or {}).get(task.task_id, 0.0)
             for dep in task.deps:
                 dep_placement = result.placements[dep]
@@ -253,6 +270,43 @@ class RoundRobinScheduler:
         return result
 
 
+def build_replan_subgraph(graph: TaskGraph, subset: set,
+                          ready_floor: float,
+                          finish_of: Callable[[int], float]):
+    """A planning subgraph for re-placing ``subset`` of ``graph``.
+
+    Shared by the offline repair helper and the engine's dispatcher.
+    Dependencies inside the subset become subgraph edges (so the policy
+    models their data transfers per candidate node); dependencies
+    outside it are folded into per-task ready times via ``finish_of``,
+    floored at ``ready_floor``.  Cross-boundary edges therefore bound
+    the start by the producer's *finish* only — the eventual placement
+    node isn't known while planning, so their transfer time is not
+    charged (the seed repair helper made the same approximation).
+
+    Returns ``(subgraph, id_map, ready_overrides)`` with ``id_map``
+    mapping original task ids to subgraph ids.
+    """
+    subgraph = TaskGraph()
+    id_map: Dict[int, int] = {}
+    ready: Dict[int, float] = {}
+    for task in graph.topological_order():
+        if task.task_id not in subset:
+            continue
+        future = subgraph.add(task.fn, (), {}, task.resources,
+                              task.output_bytes, task.tuning, task.name)
+        subgraph.tasks[future.task_id].deps = [
+            id_map[d] for d in task.deps if d in subset
+        ]
+        id_map[task.task_id] = future.task_id
+        ready_time = ready_floor
+        for dep in task.deps:
+            if dep not in subset:
+                ready_time = max(ready_time, finish_of(dep))
+        ready[future.task_id] = ready_time
+    return subgraph, id_map, ready
+
+
 def reschedule_after_failure(graph: TaskGraph, cluster: Cluster,
                              schedule: ScheduleResult, failed_node: str,
                              failure_time: float,
@@ -264,6 +318,11 @@ def reschedule_after_failure(graph: TaskGraph, cluster: Cluster,
     results; unfinished or future tasks on that node — and everything
     transitively depending on lost outputs — are rescheduled on the
     surviving nodes, no earlier than the failure time.
+
+    This is the offline repair path for callers holding a finished
+    schedule.  The :class:`~repro.runtime.engine.RuntimeEngine` performs
+    the same repair automatically, mid-run, when its monitor detects a
+    failure.
     """
     scheduler = scheduler or HEFTScheduler()
     cluster.fail_node(failed_node)
@@ -287,24 +346,10 @@ def reschedule_after_failure(graph: TaskGraph, cluster: Cluster,
             tid: p for tid, p in schedule.placements.items()
             if tid not in lost
         }
-        # Build a subgraph of the lost tasks with ready-time constraints.
-        subgraph = TaskGraph()
-        id_map: Dict[int, int] = {}
-        ready: Dict[int, float] = {}
-        for task in graph.topological_order():
-            if task.task_id not in lost:
-                continue
-            deps = [id_map[d] for d in task.deps if d in lost]
-            future = subgraph.add(task.fn, (), {}, task.resources,
-                                  task.output_bytes, task.tuning, task.name)
-            new_task = subgraph.tasks[future.task_id]
-            new_task.deps = deps
-            id_map[task.task_id] = future.task_id
-            ready_time = failure_time
-            for dep in task.deps:
-                if dep not in lost:
-                    ready_time = max(ready_time, survivors[dep].finish)
-            ready[future.task_id] = ready_time
+        subgraph, id_map, ready = build_replan_subgraph(
+            graph, lost, failure_time,
+            lambda dep: survivors[dep].finish,
+        )
         repaired = scheduler.schedule(subgraph, cluster, ready)
         merged = ScheduleResult(
             placements=dict(survivors),

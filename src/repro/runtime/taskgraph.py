@@ -164,14 +164,26 @@ def delayed(fn: Callable = None, *, resources: ResourceRequest = None,
 
 
 class EverestClient:
-    """The application-facing client (the Dask ``Client`` analogue)."""
+    """The application-facing client (the Dask ``Client`` analogue).
+
+    A thin wrapper over the event-driven
+    :class:`~repro.runtime.engine.RuntimeEngine`: submission builds the
+    engine's task graph, :meth:`compute` runs the engine (simulated
+    placement + real execution in one event loop), and :meth:`gather`
+    re-dispatches anything submitted since the last run — the seed
+    client silently ignored tasks submitted after ``compute()``.
+
+    ``scheduler`` accepts a policy instance or a registry name
+    (``"heft"``, ``"round-robin"``, ``"min-load"``); the default is HEFT.
+    """
 
     def __init__(self, cluster, scheduler=None):
-        from repro.runtime.scheduler import HEFTScheduler
+        from repro.runtime.engine import RuntimeEngine
 
         self.cluster = cluster
-        self.scheduler = scheduler or HEFTScheduler()
-        self.graph = TaskGraph()
+        self.engine = RuntimeEngine(cluster, policy=scheduler)
+        self.scheduler = self.engine.policy
+        self.graph = self.engine.graph
         self.last_schedule = None
 
     def submit(self, fn: Callable, *args,
@@ -180,23 +192,21 @@ class EverestClient:
                tuning: Optional[dict] = None,
                name: Optional[str] = None, **kwargs) -> Future:
         """Add one task; ``Future`` arguments become dependencies."""
-        resources = resources or getattr(fn, "_everest_resources", None)
-        output_bytes = getattr(fn, "_everest_output_bytes", output_bytes)
-        tuning = tuning or getattr(fn, "_everest_tuning", None)
-        return self.graph.add(fn, args, kwargs, resources, output_bytes,
-                              tuning, name)
+        return self.engine.submit(fn, *args, resources=resources,
+                                  output_bytes=output_bytes, tuning=tuning,
+                                  name=name, **kwargs)
 
     call = submit  # alias matching the delayed() docstring
 
     def compute(self):
-        """Schedule on the cluster (simulated time) and execute (real
-        results).  Returns the :class:`~repro.runtime.scheduler.ScheduleResult`.
+        """Dispatch pending tasks on the cluster (simulated time) and
+        execute them (real results).  Returns the cumulative
+        :class:`~repro.runtime.scheduler.ScheduleResult`.
         """
-        self.last_schedule = self.scheduler.schedule(self.graph, self.cluster)
-        self.graph.execute_functionally()
+        self.last_schedule = self.engine.run()
         return self.last_schedule
 
     def gather(self, futures: List[Future]) -> list:
-        if self.last_schedule is None:
+        if self.last_schedule is None or self.engine.has_pending():
             self.compute()
         return [f.result() for f in futures]

@@ -1,0 +1,154 @@
+"""Core-capacity timeline index for one node (§VI-A placement hot path).
+
+The resource manager answers one question thousands of times per schedule:
+*given everything already committed to this node, when is the earliest
+start for a task needing C cores for D seconds?*  The seed implementation
+rescanned the full interval list for every candidate start — O(intervals²)
+per query.  This module replaces it with an **event-sweep free-slot
+index**: commitments are folded into a sorted breakpoint array holding the
+core-usage level of every segment, so a query is a single bisect plus one
+forward sweep (O(intervals) worst case, O(log intervals) to locate the
+first segment), and a commit is a bisect-insert.
+
+The index is shared by the offline list schedulers
+(:class:`~repro.runtime.scheduler.HEFTScheduler`,
+:class:`~repro.runtime.scheduler.RoundRobinScheduler`) and the online
+:class:`~repro.runtime.engine.RuntimeEngine`, which additionally needs
+:meth:`NodeTimeline.release` (to free reservations lost to a node
+failure) and :meth:`NodeTimeline.load_after` (live load for the
+``min-load`` dispatch policy).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from typing import List, Tuple
+
+from repro.errors import RuntimeSchedulingError
+
+
+class NodeTimeline:
+    """Event-sweep index of committed core usage on one node.
+
+    Invariants: ``_times`` is sorted and unique; ``_levels[i]`` is the
+    number of cores in use over ``[_times[i], _times[i+1])`` (the last
+    segment extends to infinity and always has level 0, because every
+    committed interval eventually ends).
+    """
+
+    def __init__(self, node):
+        self.node = node
+        self.intervals: List[Tuple[float, float, int]] = []
+        self._times: List[float] = []
+        self._levels: List[int] = []
+        # Commitments sorted by end time, so load_after() can bisect to
+        # the still-outstanding suffix instead of scanning history.
+        self._by_end: List[Tuple[float, float, int]] = []
+
+    def _ensure_breakpoint(self, t: float) -> int:
+        """Index of the breakpoint at ``t``, splitting a segment if needed."""
+        i = bisect_left(self._times, t)
+        if i < len(self._times) and self._times[i] == t:
+            return i
+        level = self._levels[i - 1] if i > 0 else 0
+        self._times.insert(i, t)
+        self._levels.insert(i, level)
+        return i
+
+    def usage_at(self, t: float) -> int:
+        i = bisect_right(self._times, t) - 1
+        return self._levels[i] if i >= 0 else 0
+
+    def peak_usage(self, t0: float, t1: float) -> int:
+        """Peak core usage over ``[t0, t1)``."""
+        if not self._times:
+            return 0
+        i = max(0, bisect_right(self._times, t0) - 1)
+        peak = 0
+        while i < len(self._times) and self._times[i] < t1:
+            peak = max(peak, self._levels[i])
+            i += 1
+        return peak
+
+    def earliest_start(self, ready: float, duration: float,
+                       cores: int) -> float:
+        """Earliest ``t >= ready`` with ``cores`` free over ``[t, t+duration)``.
+
+        Unlike the seed scan, the search always extends past the last
+        committed interval (where the node is idle), so a feasible request
+        is *never* silently overcommitted; an infeasible one — more cores
+        than the node physically has — raises instead of being placed.
+        """
+        capacity = self.node.cores
+        if cores > capacity:
+            raise RuntimeSchedulingError(
+                f"task needs {cores} cores but node {self.node.name!r} "
+                f"only has {capacity}"
+            )
+        n = len(self._times)
+        if n == 0:
+            return ready
+        start = ready
+        i = bisect_right(self._times, start) - 1
+        while True:
+            if i >= n:
+                return start  # past every breakpoint: the node is idle
+            if i < 0:
+                level, seg_end = 0, self._times[0]
+            else:
+                level = self._levels[i]
+                seg_end = self._times[i + 1] if i + 1 < n else math.inf
+            if level + cores > capacity:
+                start = seg_end  # blocked: resume where this segment ends
+                i += 1
+                continue
+            if start + duration <= seg_end:
+                return start
+            i += 1
+
+    def commit(self, start: float, duration: float, cores: int) -> None:
+        end = start + duration
+        self.intervals.append((start, end, cores))
+        insort(self._by_end, (end, start, cores))
+        self._apply(start, end, cores)
+
+    def release(self, start: float, duration: float, cores: int) -> None:
+        """Undo a prior :meth:`commit` (a reservation lost to a failure)."""
+        end = start + duration
+        try:
+            self.intervals.remove((start, end, cores))
+        except ValueError:
+            raise RuntimeSchedulingError(
+                f"no committed interval ({start}, {end}, {cores}) on "
+                f"node {self.node.name!r}"
+            ) from None
+        self._by_end.remove((end, start, cores))
+        self._apply(start, end, -cores)
+
+    def _apply(self, start: float, end: float, cores: int) -> None:
+        if end <= start or cores == 0:
+            return
+        i0 = self._ensure_breakpoint(start)
+        i1 = self._ensure_breakpoint(end)
+        for i in range(i0, i1):
+            self._levels[i] += cores
+
+    def clone(self) -> "NodeTimeline":
+        """An independent copy (scratch planning that may be discarded)."""
+        copy = NodeTimeline(self.node)
+        copy.intervals = list(self.intervals)
+        copy._times = list(self._times)
+        copy._levels = list(self._levels)
+        copy._by_end = list(self._by_end)
+        return copy
+
+    def load_after(self, now: float) -> float:
+        """Committed core-seconds still outstanding after ``now``."""
+        i = bisect_right(self._by_end, (now, math.inf, 0))
+        return sum((e - max(s, now)) * c
+                   for e, s, c in self._by_end[i:])
+
+    @property
+    def last_end(self) -> float:
+        return self._times[-1] if self._times else 0.0

@@ -5,7 +5,12 @@ from repro.workflows.lexis import (
     WorkflowSpec,
     WorkflowTask,
 )
-from repro.workflows.microservices import MicroserviceRegistry, Request, Response
+from repro.workflows.microservices import (
+    MicroserviceRegistry,
+    Request,
+    Response,
+    RuntimeService,
+)
 
 __all__ = [
     "LexisPlatform",
@@ -14,4 +19,5 @@ __all__ = [
     "MicroserviceRegistry",
     "Request",
     "Response",
+    "RuntimeService",
 ]

@@ -64,15 +64,22 @@ class WorkflowSpec:
 
 
 class LexisPlatform:
-    """Deploys workflows onto the EVEREST runtime."""
+    """Deploys workflows onto the EVEREST runtime engine.
 
-    def __init__(self, cluster: Cluster):
+    ``policy`` selects the engine's scheduling policy for every
+    deployment (a name like ``"heft"``/``"min-load"`` or a policy
+    instance); ``deploy`` may also override it per workflow.
+    """
+
+    def __init__(self, cluster: Cluster, policy=None):
         self.cluster = cluster
+        self.policy = policy
         self.deployments: Dict[str, Dict[str, Future]] = {}
 
-    def deploy(self, spec: WorkflowSpec) -> EverestClient:
+    def deploy(self, spec: WorkflowSpec, policy=None) -> EverestClient:
         """Submit the whole DAG; returns the client for result gathering."""
-        client = EverestClient(self.cluster)
+        client = EverestClient(self.cluster,
+                               scheduler=policy or self.policy)
         futures: Dict[str, Future] = {}
         remaining = list(spec.tasks)
         progressed = True

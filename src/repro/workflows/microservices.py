@@ -8,6 +8,13 @@ An in-process REST-like registry: services register handlers under
 ``METHOD /path`` routes; calls dispatch with JSON-ish dict payloads and
 return status-coded responses.  Used by the Fig. 1 platform benchmark and
 the anomaly-detection service deployment.
+
+:class:`RuntimeService` exposes the resource manager itself as a
+microservice: JSON workflow descriptions POSTed to ``/runtime/jobs`` are
+deployed through the LEXIS platform onto the event-driven
+:class:`~repro.runtime.engine.RuntimeEngine` under a client-selected
+scheduling policy, and the resulting placements, makespan and
+utilization are queryable.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import WorkflowError
+from repro.errors import RuntimeSchedulingError, WorkflowError
 
 
 @dataclass
@@ -76,3 +83,103 @@ class MicroserviceRegistry:
 
     def routes_list(self) -> list:
         return sorted(f"{m} {p}" for m, p in self.routes)
+
+
+class RuntimeService:
+    """The resource manager (§VI-A) behind a REST-ish API.
+
+    Routes registered on the given registry:
+
+    * ``GET /runtime/policies`` — the pluggable policy names;
+    * ``POST /runtime/jobs`` — deploy a JSON workflow description onto
+      the engine (payload: ``name``, optional ``policy``, and ``tasks``
+      as a list of ``{name, after, cpu_flops, cores, fpga,
+      fpga_seconds, output_bytes}``); responds with placements and
+      makespan;
+    * ``GET /runtime/jobs`` — all jobs served so far;
+    * ``GET /runtime/utilization`` — per-node utilization of one job
+      (payload: ``{"name": ...}``).
+    """
+
+    def __init__(self, registry: MicroserviceRegistry, cluster,
+                 policy: str = "heft"):
+        from repro.workflows.lexis import LexisPlatform
+
+        self.cluster = cluster
+        self.platform = LexisPlatform(cluster, policy=policy)
+        self.jobs: Dict[str, dict] = {}
+        registry.register("GET", "/runtime/policies", self._policies)
+        registry.register("POST", "/runtime/jobs", self._submit_job)
+        registry.register("GET", "/runtime/jobs", self._list_jobs)
+        registry.register("GET", "/runtime/utilization", self._utilization)
+
+    @staticmethod
+    def _policies(request: Request) -> dict:
+        from repro.runtime.engine import POLICIES
+
+        return {"policies": sorted(POLICIES)}
+
+    def _submit_job(self, request: Request) -> dict:
+        from repro.runtime.monitor import ClusterMonitor
+        from repro.workflows.lexis import WorkflowSpec, WorkflowTask
+
+        payload = request.payload
+        name = payload.get("name")
+        if not name:
+            raise WorkflowError("job payload needs a 'name'")
+        if name in self.jobs:
+            raise WorkflowError(f"job {name!r} already submitted")
+        tasks = payload.get("tasks")
+        if not tasks:
+            raise WorkflowError("job payload needs a non-empty 'tasks' list")
+        spec = WorkflowSpec(name)
+        for entry in tasks:
+            if "name" not in entry:
+                raise WorkflowError("every task needs a 'name'")
+            spec.add(WorkflowTask(
+                name=entry["name"],
+                fn=lambda *deps, _n=entry["name"]: _n,
+                after=list(entry.get("after", [])),
+                location="fpga" if entry.get("fpga") else "hpc",
+                fpga_seconds=float(entry.get("fpga_seconds", 1e-3)),
+                cpu_flops=float(entry.get("cpu_flops", 1e9)),
+                cores=int(entry.get("cores", 1)),
+                output_bytes=int(entry.get("output_bytes", 8192)),
+            ))
+        try:
+            client = self.platform.deploy(spec,
+                                          policy=payload.get("policy"))
+            schedule = client.compute()
+        except RuntimeSchedulingError as error:
+            # An unschedulable workflow is the caller's fault: 400.
+            raise WorkflowError(str(error)) from error
+        by_name = {t.task_id: t.name for t in client.graph.tasks.values()}
+        report = ClusterMonitor(self.cluster).utilization(schedule)
+        record = {
+            "name": name,
+            "policy": getattr(client.scheduler, "name",
+                              type(client.scheduler).__name__),
+            "makespan_seconds": schedule.makespan,
+            "transfers_seconds": schedule.transfers_seconds,
+            "utilization": report.utilization,
+            "placements": {
+                by_name[tid]: {"node": p.node, "start": p.start,
+                               "finish": p.finish, "cores": p.cores}
+                for tid, p in schedule.placements.items()
+            },
+        }
+        self.jobs[name] = record
+        return record
+
+    def _list_jobs(self, request: Request) -> dict:
+        return {"jobs": [
+            {"name": job["name"], "policy": job["policy"],
+             "makespan_seconds": job["makespan_seconds"]}
+            for job in self.jobs.values()
+        ]}
+
+    def _utilization(self, request: Request) -> dict:
+        name = request.payload.get("name")
+        if name not in self.jobs:
+            raise WorkflowError(f"unknown job {name!r}")
+        return {"name": name, "utilization": self.jobs[name]["utilization"]}

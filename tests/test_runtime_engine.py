@@ -1,0 +1,428 @@
+"""Tests for the event-driven runtime engine and its pluggable policies.
+
+Covers the timeline index (including the seed overcommit regression),
+the policy protocol, streaming submission, in-loop monitoring, and the
+failure-handling edge cases of §VI-A duty 4.
+"""
+
+import pytest
+
+from repro.errors import RuntimeSchedulingError
+from repro.platforms import alveo_u55c
+from repro.runtime import (
+    POLICIES,
+    Cluster,
+    EverestClient,
+    HEFTScheduler,
+    MinLoadPolicy,
+    Node,
+    NodeTimeline,
+    ResourceRequest,
+    RoundRobinScheduler,
+    RuntimeEngine,
+    default_cluster,
+    resolve_policy,
+    synthetic_workflow,
+)
+
+
+def _assert_capacity_respected(schedule, cluster):
+    for node_name, node in cluster.nodes.items():
+        events = [p for p in schedule.placements.values()
+                  if p.node == node_name]
+        for t in sorted({p.start for p in events}):
+            used = sum(p.cores for p in events if p.start <= t < p.finish)
+            assert used <= node.cores, (node_name, t, used)
+
+
+def _assert_dependencies_respected(schedule, graph):
+    for task in graph.tasks.values():
+        for dep in task.deps:
+            assert schedule.placements[dep].finish \
+                <= schedule.placements[task.task_id].start + 1e-12
+
+
+class TestNodeTimeline:
+    def _node(self, cores=4):
+        return Node("n0", cores=cores, fpgas=[])
+
+    def test_empty_timeline_starts_at_ready(self):
+        timeline = NodeTimeline(self._node())
+        assert timeline.earliest_start(3.0, 1.0, 2) == 3.0
+
+    def test_packs_into_free_capacity(self):
+        timeline = NodeTimeline(self._node(cores=4))
+        timeline.commit(0.0, 10.0, 2)
+        # Two cores remain free for the whole window.
+        assert timeline.earliest_start(0.0, 5.0, 2) == 0.0
+        timeline.commit(0.0, 10.0, 2)
+        # Now the node is full until t=10.
+        assert timeline.earliest_start(0.0, 5.0, 1) == 10.0
+
+    def test_search_extends_past_last_interval_end(self):
+        """Regression for the seed ``candidates[-1]`` fallback: when no
+        gap fits, the answer is *after* the last busy interval — never an
+        overcommitted start inside it."""
+        timeline = NodeTimeline(self._node(cores=2))
+        timeline.commit(0.0, 4.0, 2)
+        timeline.commit(4.0, 4.0, 1)
+        # One core free in [4, 8), full before; a 2-core task must wait
+        # until t=8 even though its ready time is 0.
+        start = timeline.earliest_start(0.0, 3.0, 2)
+        assert start == 8.0
+        timeline.commit(start, 3.0, 2)
+        assert timeline.peak_usage(0.0, 11.0) <= 2
+
+    def test_window_spanning_gap_is_rejected(self):
+        timeline = NodeTimeline(self._node(cores=2))
+        timeline.commit(0.0, 2.0, 2)
+        timeline.commit(5.0, 2.0, 1)
+        # One core stays free over [5, 7), so a 1-core window fits at 2;
+        # a 2-core window spanning the gap must wait until t=7.
+        assert timeline.earliest_start(0.0, 4.0, 1) == 2.0
+        assert timeline.earliest_start(0.0, 4.0, 2) == 7.0
+
+    def test_request_wider_than_node_rejected(self):
+        """The seed scan silently overcommitted the node instead."""
+        timeline = NodeTimeline(self._node(cores=2))
+        with pytest.raises(RuntimeSchedulingError):
+            timeline.earliest_start(0.0, 1.0, 3)
+
+    def test_release_restores_capacity(self):
+        timeline = NodeTimeline(self._node(cores=2))
+        timeline.commit(0.0, 10.0, 2)
+        assert timeline.earliest_start(0.0, 1.0, 1) == 10.0
+        timeline.release(0.0, 10.0, 2)
+        assert timeline.earliest_start(0.0, 1.0, 1) == 0.0
+        with pytest.raises(RuntimeSchedulingError):
+            timeline.release(0.0, 10.0, 2)
+
+    def test_matches_brute_force_on_random_trace(self):
+        import random
+
+        rng = random.Random(7)
+        node = self._node(cores=8)
+        timeline = NodeTimeline(node)
+        committed = []
+        for _ in range(200):
+            ready = rng.uniform(0, 50)
+            duration = rng.uniform(0.1, 5.0)
+            cores = rng.randint(1, 8)
+            start = timeline.earliest_start(ready, duration, cores)
+            assert start >= ready
+            # Brute-force check: the window fits, and no earlier
+            # committed-interval boundary >= ready would.
+            def peak(t0, t1):
+                points = {t0} | {s for s, e, c in committed
+                                 if t0 < s < t1}
+                return max((sum(c for s, e, c in committed
+                                if s <= p < e) for p in points),
+                           default=0)
+
+            assert peak(start, start + duration) + cores <= node.cores
+            earlier = {b for b in
+                       ({ready} | {e for _, e, _ in committed
+                                   if ready < e < start})
+                       if b < start}
+            for boundary in sorted(earlier):
+                assert peak(boundary, boundary + duration) + cores \
+                    > node.cores
+            timeline.commit(start, duration, cores)
+            committed.append((start, start + duration, cores))
+
+
+class TestSchedulerOvercommitRegression:
+    def test_task_wider_than_every_node_rejected(self):
+        cluster = Cluster([Node("small0", cores=2, fpgas=[]),
+                           Node("small1", cores=2, fpgas=[])])
+        client = EverestClient(cluster)
+        client.submit(lambda: 0, resources=ResourceRequest(cores=4))
+        with pytest.raises(RuntimeSchedulingError):
+            client.compute()
+
+    @pytest.mark.parametrize("scheduler_cls",
+                             [HEFTScheduler, RoundRobinScheduler])
+    def test_wide_task_placed_only_on_capable_node(self, scheduler_cls):
+        cluster = Cluster([Node("small", cores=2, fpgas=[]),
+                           Node("big", cores=8, fpgas=[])])
+        client = EverestClient(cluster, scheduler=scheduler_cls())
+        for i in range(6):
+            client.submit(lambda: 0, name=f"wide{i}",
+                          resources=ResourceRequest(cores=4,
+                                                    cpu_flops=1e9))
+        schedule = client.compute()
+        assert {p.node for p in schedule.placements.values()} == {"big"}
+        _assert_capacity_respected(schedule, cluster)
+
+
+class TestPolicyProtocol:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_registry_policies_satisfy_protocol(self, name):
+        policy = resolve_policy(name)
+        assert policy.name == name
+        assert isinstance(policy.online, bool)
+        assert callable(policy.schedule)
+
+    def test_resolve_rejects_unknown_name(self):
+        with pytest.raises(RuntimeSchedulingError):
+            resolve_policy("not-a-policy")
+
+    def test_resolve_rejects_non_policy(self):
+        with pytest.raises(RuntimeSchedulingError):
+            resolve_policy(object())
+
+    def test_resolve_passes_instances_through(self):
+        policy = MinLoadPolicy()
+        assert resolve_policy(policy) is policy
+
+    def test_resolve_rejects_seed_signature_scheduler(self):
+        """A scheduler without the timelines= keyword would plan against
+        empty capacity mid-run; it must be rejected up front."""
+
+        class LegacyScheduler:
+            def schedule(self, graph, cluster, ready_overrides=None):
+                raise AssertionError("never called")
+
+        with pytest.raises(RuntimeSchedulingError, match="timelines"):
+            resolve_policy(LegacyScheduler())
+
+    def test_min_load_balances_identical_tasks(self):
+        cluster = default_cluster(2)
+        policy = MinLoadPolicy()
+        client = EverestClient(cluster, scheduler=policy)
+        for i in range(8):
+            client.submit(lambda: 0, name=f"t{i}",
+                          resources=ResourceRequest(cores=32,
+                                                    cpu_flops=1e10))
+        schedule = client.compute()
+        busy = schedule.node_busy_seconds()
+        # Eight node-filling tasks over two nodes: a 50/50 split.
+        assert len(busy) == 2
+        values = sorted(busy.values())
+        assert values[0] == pytest.approx(values[1])
+
+    def test_min_load_offline_schedule_is_valid(self):
+        cluster = default_cluster(3)
+        client = EverestClient(cluster)
+        synthetic_workflow(client, n_tasks=40, seed=5)
+        schedule = MinLoadPolicy().schedule(client.graph, cluster)
+        _assert_capacity_respected(schedule, cluster)
+        _assert_dependencies_respected(schedule, client.graph)
+
+
+class TestEngineExecution:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_diamond_results_per_policy(self, policy):
+        engine = RuntimeEngine(default_cluster(2), policy=policy)
+        a = engine.submit(lambda: 1, name="a")
+        b = engine.submit(lambda x: x + 1, a, name="b")
+        c = engine.submit(lambda x: x * 2, a, name="c")
+        d = engine.submit(lambda x, y: x + y, b, c, name="d")
+        schedule = engine.run()
+        assert d.result() == (1 + 1) + (1 * 2)
+        _assert_capacity_respected(schedule, engine.cluster)
+        _assert_dependencies_respected(schedule, engine.graph)
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_wide_workflow_valid_per_policy(self, policy):
+        engine = RuntimeEngine(default_cluster(3), policy=policy)
+        finals = synthetic_workflow(engine, n_tasks=48, seed=3)
+        schedule = engine.run()
+        assert len(schedule.placements) == 48
+        assert all(f.task_id in engine.graph.results for f in finals)
+        _assert_capacity_respected(schedule, engine.cluster)
+        _assert_dependencies_respected(schedule, engine.graph)
+
+    def test_heartbeats_advance_with_event_clock(self):
+        engine = RuntimeEngine(default_cluster(2), heartbeat_interval=0.5)
+        synthetic_workflow(engine, n_tasks=20, seed=4)
+        schedule = engine.run()
+        assert schedule.makespan > 0
+        for name in engine.cluster.nodes:
+            assert engine.monitor.heartbeat[name] \
+                == pytest.approx(schedule.makespan, rel=0.1)
+
+    def test_failed_plan_leaves_timelines_untouched(self):
+        """A plan that raises partway (unplaceable FPGA task) must not
+        leak half-committed reservations into the live timelines."""
+        cluster = Cluster([Node("cpu0", fpgas=[])])
+        engine = RuntimeEngine(cluster)
+        engine.submit(lambda: 1, name="ok")
+        engine.submit(lambda: 2, name="offload",
+                      resources=ResourceRequest(fpga=True))
+        with pytest.raises(RuntimeSchedulingError):
+            engine.run()
+        assert engine.timelines["cpu0"].intervals == []
+        assert engine.placements == {}
+
+    def test_unsatisfiable_dependency_rejected(self):
+        engine = RuntimeEngine(default_cluster(1), policy="min-load")
+        future = engine.submit(lambda x: x, 1)
+        engine.graph.tasks[future.task_id].deps.append(future.task_id)
+        with pytest.raises(RuntimeSchedulingError):
+            engine.run()
+
+
+class TestStreamingSubmission:
+    def test_two_jobs_interleave_on_one_cluster(self):
+        # Measure job A alone to find a mid-flight submission time.
+        probe = RuntimeEngine(default_cluster(2))
+        synthetic_workflow(probe, n_tasks=30, seed=2)
+        alone = probe.run().makespan
+
+        engine = RuntimeEngine(default_cluster(2))
+        synthetic_workflow(engine, n_tasks=30, seed=2, label="a")
+        engine.call_at(alone * 0.4, lambda: synthetic_workflow(
+            engine, n_tasks=30, seed=3, label="b"))
+        schedule = engine.run()
+
+        ids = {"a": set(), "b": set()}
+        for task in engine.graph.tasks.values():
+            ids[task.name[0]].add(task.task_id)
+        assert len(schedule.placements) == 60
+        a_last_finish = max(schedule.placements[t].finish
+                            for t in ids["a"])
+        b_first_start = min(schedule.placements[t].start
+                            for t in ids["b"])
+        # Job B starts while job A is still running...
+        assert b_first_start < a_last_finish
+        # ...and no task of B is placed before its submission time.
+        assert b_first_start >= alone * 0.4 - 1e-12
+        # Both jobs completed functionally, sharing capacity correctly.
+        assert all(t in engine.graph.results for t in ids["a"] | ids["b"])
+        _assert_capacity_respected(schedule, engine.cluster)
+
+    def test_client_gather_redispatches_new_tasks(self):
+        """Regression for the seed stale-schedule bug: tasks submitted
+        after ``compute()`` were silently ignored by ``gather()``."""
+        client = EverestClient(default_cluster(2))
+        first = client.submit(lambda: 10)
+        client.compute()
+        second = client.submit(lambda x: x + 5, first)
+        third = client.submit(lambda: 100)
+        assert client.gather([first, second, third]) == [10, 15, 100]
+        # The late tasks were really scheduled, not just executed.
+        schedule = client.last_schedule
+        assert second.task_id in schedule.placements
+        assert third.task_id in schedule.placements
+        # And they run no earlier than the first batch's timeline.
+        assert schedule.placements[second.task_id].start \
+            >= schedule.placements[first.task_id].finish
+
+    def test_submit_at_streams_tasks_in(self):
+        engine = RuntimeEngine(default_cluster(1), policy="min-load")
+        first = engine.submit(lambda: 2,
+                              resources=ResourceRequest(cpu_flops=1e10))
+        engine.submit_at(0.5, lambda: 3, name="late")
+        schedule = engine.run()
+        late = next(t for t in engine.graph.tasks.values()
+                    if t.name == "late")
+        assert schedule.placements[late.task_id].start >= 0.5
+        assert first.result() == 2
+        assert engine.graph.results[late.task_id] == 3
+
+
+class TestFailureHandling:
+    def _loaded_engine(self, policy="heft", nodes=3, tasks=60, seed=1):
+        engine = RuntimeEngine(default_cluster(nodes), policy=policy)
+        finals = synthetic_workflow(engine, n_tasks=tasks, seed=seed)
+        return engine, finals
+
+    def _makespan(self, **kwargs):
+        engine, _ = self._loaded_engine(**kwargs)
+        return engine.run().makespan
+
+    @pytest.mark.parametrize("policy", ["heft", "min-load"])
+    def test_mid_run_failure_rescheduled_automatically(self, policy):
+        baseline = self._makespan(policy=policy)
+        engine, finals = self._loaded_engine(policy=policy)
+        fail_time = baseline * 0.3
+        engine.fail_node_at(fail_time, "node0")
+        schedule = engine.run()
+        assert schedule.rescheduled_tasks > 0
+        for placement in schedule.placements.values():
+            if placement.node == "node0":
+                assert placement.finish <= fail_time + 1e-9
+        assert all(f.task_id in engine.graph.results for f in finals)
+        _assert_capacity_respected(schedule, engine.cluster)
+        _assert_dependencies_respected(schedule, engine.graph)
+
+    def test_node_fails_before_any_task_starts(self):
+        engine, finals = self._loaded_engine()
+        engine.fail_node_at(0.0, "node1")
+        schedule = engine.run()
+        # Nothing may run on the node that died at t=0...
+        assert all(p.node != "node1"
+                   for p in schedule.placements.values())
+        # ...yet everything still completes on the survivors.
+        assert len(schedule.placements) == 60
+        assert all(f.task_id in engine.graph.results for f in finals)
+
+    def test_last_fpga_node_fails_with_fpga_task_pending(self):
+        cluster = Cluster([Node("cpu0", fpgas=[]),
+                           Node("acc0", fpgas=[alveo_u55c()])])
+        engine = RuntimeEngine(cluster)
+        gate = engine.submit(lambda: 1, name="gate",
+                             resources=ResourceRequest(cpu_flops=5e10))
+        engine.submit(lambda x: x, gate, name="offload",
+                      resources=ResourceRequest(fpga=True,
+                                                fpga_seconds=1e-3))
+        engine.fail_node_at(1.0, "acc0")  # before the FPGA task can run
+        with pytest.raises(RuntimeSchedulingError):
+            engine.run()
+
+    def test_two_sequential_failures(self):
+        baseline = self._makespan()
+        engine, finals = self._loaded_engine()
+        t1, t2 = baseline * 0.2, baseline * 0.5
+        engine.fail_node_at(t1, "node0")
+        engine.fail_node_at(t2, "node1")
+        schedule = engine.run()
+        assert schedule.rescheduled_tasks > 0
+        for placement in schedule.placements.values():
+            if placement.node == "node0":
+                assert placement.finish <= t1 + 1e-9
+            if placement.node == "node1":
+                assert placement.finish <= t2 + 1e-9
+        assert all(f.task_id in engine.graph.results for f in finals)
+        _assert_capacity_respected(schedule, engine.cluster)
+
+    def test_failure_after_restore_is_handled_again(self):
+        """A node that fails, is restored, and fails a second time must
+        be re-detected — the handled-failure set resets on recovery."""
+        baseline = self._makespan()
+        engine, finals = self._loaded_engine()
+        t1, t2 = baseline * 0.2, baseline * 0.8
+        engine.fail_node_at(t1, "node0")
+        engine.call_at(baseline * 0.4,
+                       lambda: engine.cluster.restore_node("node0"))
+        # Stream fresh work in after the restore so the revived node0
+        # picks up placements again...
+        engine.call_at(baseline * 0.5, lambda: synthetic_workflow(
+            engine, n_tasks=30, seed=9, label="wave2"))
+        counts = {}
+        engine.call_at(t2 * 0.999,
+                       lambda: counts.update(
+                           before=engine.rescheduled_tasks))
+        # ...then kill it a second time.
+        engine.fail_node_at(t2, "node0")
+        schedule = engine.run()
+        # The second failure really rescheduled work — it was not
+        # swallowed by the already-handled set.
+        assert schedule.rescheduled_tasks > counts["before"]
+        for placement in schedule.placements.values():
+            if placement.node == "node0":
+                assert placement.finish <= t2 + 1e-9
+        assert all(f.task_id in engine.graph.results for f in finals)
+        assert len(engine.graph.results) == 90
+
+    def test_monitor_detects_externally_failed_node(self):
+        """Failure injected by side effect (not fail_node_at): the
+        in-loop monitor notices the dead node and recovery still runs."""
+        baseline = self._makespan()
+        engine, finals = self._loaded_engine()
+        engine.call_at(baseline * 0.3,
+                       lambda: engine.cluster.fail_node("node0"))
+        schedule = engine.run()
+        assert schedule.rescheduled_tasks > 0
+        assert all(f.task_id in engine.graph.results for f in finals)

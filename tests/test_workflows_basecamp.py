@@ -14,6 +14,7 @@ from repro.workflows import (
     LexisPlatform,
     MicroserviceRegistry,
     Request,
+    RuntimeService,
     WorkflowSpec,
     WorkflowTask,
 )
@@ -47,6 +48,16 @@ class TestLexis:
                     if t.name == "simulate")
         node = schedule.placements[task.task_id].node
         assert client.cluster.node(node).has_fpga
+
+    def test_deploy_with_policy_selection(self):
+        platform = LexisPlatform(default_cluster(2), policy="min-load")
+        client = platform.deploy(self._spec())
+        assert client.scheduler.name == "min-load"
+        client.compute()
+        assert platform.results("forecast")["predict"] == 21
+        # Per-deploy override beats the platform default.
+        override = platform.deploy(self._spec(), policy="round-robin")
+        assert override.scheduler.name == "round-robin"
 
     def test_cyclic_workflow_rejected(self):
         spec = WorkflowSpec("bad")
@@ -89,6 +100,79 @@ class TestMicroservices:
         registry.register("GET", "/a", lambda r: {})
         with pytest.raises(WorkflowError):
             registry.register("GET", "/a", lambda r: {})
+
+
+class TestRuntimeService:
+    def _service(self):
+        registry = MicroserviceRegistry()
+        service = RuntimeService(registry, default_cluster(2))
+        return registry, service
+
+    def _job(self, name="etl", policy=None):
+        job = {"name": name, "tasks": [
+            {"name": "ingest", "cpu_flops": 2e9},
+            {"name": "simulate", "after": ["ingest"], "cores": 4,
+             "cpu_flops": 8e9},
+            {"name": "predict", "after": ["simulate"], "fpga": True,
+             "fpga_seconds": 1e-3},
+        ]}
+        if policy:
+            job["policy"] = policy
+        return job
+
+    def test_routes_registered(self):
+        registry, _ = self._service()
+        assert "POST /runtime/jobs" in registry.routes_list()
+        assert "GET /runtime/policies" in registry.routes_list()
+
+    def test_job_deploys_through_engine(self):
+        registry, _ = self._service()
+        response = registry.call("POST", "/runtime/jobs",
+                                 self._job(policy="min-load"))
+        assert response.ok
+        body = response.body
+        assert body["policy"] == "min-load"
+        assert body["makespan_seconds"] > 0
+        assert set(body["placements"]) == {"ingest", "simulate", "predict"}
+        # Dependencies hold through the REST boundary.
+        assert body["placements"]["ingest"]["finish"] \
+            <= body["placements"]["simulate"]["start"] + 1e-12
+
+    def test_policies_and_job_listing(self):
+        registry, _ = self._service()
+        policies = registry.call("GET", "/runtime/policies").body["policies"]
+        assert {"heft", "round-robin", "min-load"} <= set(policies)
+        registry.call("POST", "/runtime/jobs", self._job("j1"))
+        registry.call("POST", "/runtime/jobs", self._job("j2", "heft"))
+        jobs = registry.call("GET", "/runtime/jobs").body["jobs"]
+        assert {job["name"] for job in jobs} == {"j1", "j2"}
+        utilization = registry.call("GET", "/runtime/utilization",
+                                    {"name": "j1"})
+        assert utilization.ok
+        assert set(utilization.body["utilization"]) \
+            == {"node0", "node1"}
+
+    def test_bad_requests_are_client_errors(self):
+        registry, _ = self._service()
+        assert registry.call("POST", "/runtime/jobs", {}).status == 400
+        assert registry.call(
+            "POST", "/runtime/jobs",
+            {"name": "x", "policy": "bogus",
+             "tasks": [{"name": "a"}]},
+        ).status == 400
+        # Unschedulable (no node has 99 cores) maps to 400, not 500.
+        assert registry.call(
+            "POST", "/runtime/jobs",
+            {"name": "y", "tasks": [{"name": "a", "cores": 99}]},
+        ).status == 400
+        assert registry.call("GET", "/runtime/utilization",
+                             {"name": "nope"}).status == 400
+
+    def test_duplicate_job_rejected(self):
+        registry, _ = self._service()
+        assert registry.call("POST", "/runtime/jobs", self._job()).ok
+        assert registry.call("POST", "/runtime/jobs",
+                             self._job()).status == 400
 
 
 class TestDOSA:
@@ -167,6 +251,32 @@ class TestBasecampCLI(object):
     def test_info(self, capsys):
         assert main(["info"]) == 0
         assert "alveo-u55c" in capsys.readouterr().out
+
+    def test_runtime_all_policies(self, capsys):
+        assert main(["runtime", "--tasks", "24", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("heft", "round-robin", "min-load"):
+            assert policy in out
+        assert "makespan" in out
+
+    def test_runtime_single_policy_with_failure(self, capsys):
+        assert main(["runtime", "--policy", "heft", "--tasks", "24",
+                     "--nodes", "3", "--fail", "node1@2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "failing node1" in out
+        assert "rescheduled=" in out
+
+    def test_runtime_bad_policy_rejected(self, capsys):
+        assert main(["runtime", "--policy", "bogus"]) == 1
+        assert "unknown scheduling policy" in capsys.readouterr().err
+
+    def test_runtime_bad_fail_spec_rejected(self, capsys):
+        assert main(["runtime", "--fail", "node1"]) == 1
+        assert "NODE@SIM_SECONDS" in capsys.readouterr().err
+        assert main(["runtime", "--fail", "node1@fast"]) == 1
+        assert "NODE@SIM_SECONDS" in capsys.readouterr().err
+        assert main(["runtime", "--fail", "@2.0"]) == 1
+        assert "NODE@SIM_SECONDS" in capsys.readouterr().err
 
     def test_error_reported_cleanly(self, capsys):
         assert main(["compile", "/nonexistent.ekl"]) == 1
