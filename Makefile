@@ -1,12 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-runtime docs-check examples lint all
+.PHONY: test bench-smoke bench-runtime bench-ir fuzz-smoke coverage \
+	docs-check examples lint all
 
 all: test docs-check
 
 test: lint
 	$(PYTHON) -m pytest -x -q tests
+	$(MAKE) fuzz-smoke
+	$(MAKE) bench-ir
 
 # bench_*.py does not match pytest's default file glob; list explicitly.
 bench-smoke:
@@ -19,6 +22,28 @@ bench-runtime:
 		benchmarks/bench_runtime_engine.py \
 		benchmarks/bench_claim_runtime_scheduler.py
 	@echo "results recorded in BENCH_runtime_engine.json"
+
+# Worklist rewriter vs. the full-sweep driver on a >=2,000-op module;
+# records the speedup in BENCH_ir_canonicalize.json.
+bench-ir:
+	$(PYTHON) -m pytest -x -q --benchmark-disable \
+		benchmarks/bench_ir_canonicalize.py
+	@echo "results recorded in BENCH_ir_canonicalize.json"
+
+# A quick roundtrip-fuzz campaign (the full 200-seed run is in tier-1
+# tests; `python tools/irfuzz.py --count N` goes deeper).
+fuzz-smoke:
+	$(PYTHON) tools/irfuzz.py --count 20
+
+# Line coverage over the package; tolerates a container without
+# pytest-cov (prints a hint), but a real test failure still fails the
+# target.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q tests --cov=repro --cov-report=term; \
+	else \
+		echo "coverage: pytest-cov unavailable (pip install pytest-cov)"; \
+	fi
 
 # Non-blocking: warnings are reported but never fail the build, and a
 # missing ruff is tolerated (the container may not ship it).

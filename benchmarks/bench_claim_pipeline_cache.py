@@ -16,12 +16,13 @@ FORMATS = ["f64", "f32", "bf16", "fixed<8.8>", "posit<16,1>"]
 def test_cache_hot_recompile(benchmark):
     session = PipelineSession()
     cold = session.compile(FIG3_MAJOR_ABSORBER)  # warm the cache
+    cold_events = len(session.report.events)
 
     warm = benchmark(lambda: session.compile(FIG3_MAJOR_ABSORBER))
     assert warm.report is cold.report
-    assert session.report.cache_hits >= 3
+    assert session.report.cache_hits >= 4
     # Every timed iteration was served from the cache.
-    assert all(e.cached for e in session.report.events[3:])
+    assert all(e.cached for e in session.report.events[cold_events:])
 
 
 def test_parallel_format_sweep(benchmark):

@@ -60,10 +60,10 @@ def cmd_compile(args) -> int:
     if args.emit == "mlir":
         from repro.ir import print_module
 
-        result = _session().lower(source)
+        result = _session().lower(source, opt_level=args.opt_level)
         print(print_module(result.module))
     else:
-        result = _session().compile(source)
+        result = _session().compile(source, opt_level=args.opt_level)
         print(result.report.summary())
     return 0
 
@@ -92,7 +92,8 @@ def cmd_olympus(args) -> int:
 def cmd_pipeline(args) -> int:
     session = _session()
     plan = session.deploy(_read_source(args.source), device=args.device,
-                          nodes=args.nodes, parallel=not args.serial)
+                          nodes=args.nodes, parallel=not args.serial,
+                          opt_level=args.opt_level)
     schedule = plan.schedule
     print(f"deployed on {args.nodes} nodes: "
           f"{len(schedule.placements)} task(s), "
@@ -214,6 +215,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compile", help="compile an EKL kernel")
     p.add_argument("source")
     p.add_argument("--emit", choices=["report", "mlir"], default="report")
+    p.add_argument("--opt-level", type=int, choices=[0, 1, 2], default=1,
+                   help="0: raw lowering, 1: canonicalize (fold/DCE/CSE), "
+                        "2: canonicalize + inline")
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("synthesize", help="HLS with a custom data format")
@@ -236,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--serial", action="store_true",
                    help="disable the parallel DSE fan-out")
+    p.add_argument("--opt-level", type=int, choices=[0, 1, 2], default=1,
+                   help="0: raw lowering, 1: canonicalize (fold/DCE/CSE), "
+                        "2: canonicalize + inline")
     p.set_defaults(fn=cmd_pipeline)
 
     p = sub.add_parser("dialects", help="the Fig. 5 dialect graph")

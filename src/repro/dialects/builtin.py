@@ -9,7 +9,10 @@ enough structure to be useful.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import IRError
+from repro.ir.canonicalize import constant_value
 from repro.ir.core import Operation
 from repro.ir.dialect import VARIADIC, register_dialect
 from repro.ir.types import FunctionType, MemRefType, TensorType
@@ -56,6 +59,164 @@ def _verify_store(op: Operation) -> None:
         )
 
 
+# -- fold hooks (canonicalization) -----------------------------------------------
+#
+# Fold hooks return an existing Value, a plain constant (materialized as
+# arith.constant by the driver) or None.  Float identities keep IEEE
+# semantics: ``x * 0.0`` is NOT folded (NaN/Inf), ``x + 0.0`` is (only
+# observable on -0.0 inputs, which the SDK's kernels never produce at
+# compile time).  Integer folds mirror the affine interpreter exactly
+# (``//`` and ``%`` semantics), keeping the differential tests bit-exact.
+
+
+def _scalar_const(value):
+    constant = constant_value(value)
+    if isinstance(constant, (bool, int, float)):
+        return constant
+    return None
+
+
+_CMP_PREDICATES = {
+    "le": lambda a, b: a <= b, "lt": lambda a, b: a < b,
+    "ge": lambda a, b: a >= b, "gt": lambda a, b: a > b,
+    "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+}
+
+
+def _make_binary_fold(py, *, left_id=None, right_id=None, absorb=None):
+    """Fold factory: constant x constant, identity and absorbing elements."""
+
+    def fold(op: Operation):
+        lhs, rhs = op.operands
+        a, b = _scalar_const(lhs), _scalar_const(rhs)
+        if a is not None and b is not None:
+            try:
+                return py(a, b)
+            except (ZeroDivisionError, OverflowError, ValueError):
+                return None
+        if right_id is not None and b == right_id:
+            return lhs
+        if left_id is not None and a == left_id:
+            return rhs
+        if absorb is not None and (a == absorb or b == absorb):
+            return absorb
+        return None
+
+    return fold
+
+
+def _fold_cmp(op: Operation):
+    a, b = _scalar_const(op.operands[0]), _scalar_const(op.operands[1])
+    predicate = _CMP_PREDICATES.get(op.attr("predicate"))
+    if a is None or b is None or predicate is None:
+        return None
+    return bool(predicate(a, b))
+
+
+def _fold_select(op: Operation):
+    _, then, otherwise = op.operands
+    if then is otherwise:
+        return then
+    cond = _scalar_const(op.operands[0])
+    if cond is None:
+        return None
+    return then if cond else otherwise
+
+
+def _fold_negf(op: Operation):
+    constant = _scalar_const(op.operands[0])
+    if constant is not None:
+        return -constant
+    producer = op.operands[0].owner_op()
+    if producer is not None and producer.name == "arith.negf":
+        return producer.operands[0]
+    return None
+
+
+def _make_cast_fold(py):
+    def fold(op: Operation):
+        constant = _scalar_const(op.operands[0])
+        if constant is None:
+            return None
+        try:
+            return py(constant)
+        except (ValueError, OverflowError):
+            return None
+
+    return fold
+
+
+def _make_math_fold(py):
+    def fold(op: Operation):
+        constants = [_scalar_const(operand) for operand in op.operands]
+        if any(constant is None for constant in constants):
+            return None
+        try:
+            return py(*constants)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            return None
+
+    return fold
+
+
+# Matches the affine interpreter's scalar semantics (affine_interp._BINOPS).
+_FLOAT_FOLDS = {
+    "addf": _make_binary_fold(lambda a, b: a + b, left_id=0.0, right_id=0.0),
+    "subf": _make_binary_fold(lambda a, b: a - b, right_id=0.0),
+    "mulf": _make_binary_fold(lambda a, b: a * b, left_id=1.0, right_id=1.0),
+    "divf": _make_binary_fold(lambda a, b: a / b, right_id=1.0),
+    "maximumf": _make_binary_fold(max),
+    "minimumf": _make_binary_fold(min),
+    "remf": _make_binary_fold(math.fmod),
+    # math.pow, not ``**``: a negative base with a fractional exponent must
+    # raise ValueError (caught -> no fold), not return a complex number.
+    "powf": _make_binary_fold(math.pow),
+}
+
+_INT_FOLDS = {
+    "addi": _make_binary_fold(lambda a, b: a + b, left_id=0, right_id=0),
+    "subi": _make_binary_fold(lambda a, b: a - b, right_id=0),
+    "muli": _make_binary_fold(lambda a, b: a * b, left_id=1, right_id=1,
+                              absorb=0),
+    "divsi": _make_binary_fold(lambda a, b: int(a) // int(b), right_id=1),
+    "remsi": _make_binary_fold(lambda a, b: int(a) % int(b)),
+    "andi": _make_binary_fold(lambda a, b: int(a) & int(b), absorb=0),
+    "ori": _make_binary_fold(lambda a, b: int(a) | int(b), left_id=0,
+                             right_id=0),
+    "xori": _make_binary_fold(lambda a, b: int(a) ^ int(b), left_id=0,
+                              right_id=0),
+    "shli": _make_binary_fold(lambda a, b: int(a) << int(b) if 0 <= b < 64
+                              else None, right_id=0),
+    "shrsi": _make_binary_fold(lambda a, b: int(a) >> int(b) if 0 <= b < 64
+                               else None, right_id=0),
+    "maxsi": _make_binary_fold(max),
+    "minsi": _make_binary_fold(min),
+}
+
+# Matches affine_interp._MATH so compile-time folds are bit-identical to
+# the interpreted result.
+_MATH_FOLDS = {
+    "exp": _make_math_fold(math.exp), "log": _make_math_fold(math.log),
+    "sqrt": _make_math_fold(math.sqrt), "sin": _make_math_fold(math.sin),
+    "cos": _make_math_fold(math.cos), "tanh": _make_math_fold(math.tanh),
+    "atan2": _make_math_fold(math.atan2), "erf": _make_math_fold(math.erf),
+    "abs": _make_math_fold(abs),
+}
+
+
+def _fold_stage(op: Operation):
+    """``buffer.stage`` into the space the value was already staged to."""
+    source = op.operands[0]
+    producer = source.owner_op()
+    if producer is None or producer.name != "buffer.stage":
+        return None
+    if producer.attr("space") != op.attr("space"):
+        return None
+    if source.type != op.results[0].type:
+        return None
+    return source
+
+
 def register() -> None:
     """Register all core dialects into the global registry (idempotent)."""
     builtin = register_dialect("builtin", "top-level containers")
@@ -88,39 +249,45 @@ def register() -> None:
         for name in ("addf", "subf", "mulf", "divf", "maximumf", "minimumf",
                      "remf", "powf"):
             arith.op(name, f"float {name}", num_operands=2, num_results=1,
-                     traits=("pure",), verify=_verify_binary_same_type)
+                     traits=("pure",), verify=_verify_binary_same_type,
+                     fold=_FLOAT_FOLDS[name])
         for name in ("addi", "subi", "muli", "divsi", "remsi", "andi", "ori",
                      "xori", "shli", "shrsi", "maxsi", "minsi"):
             arith.op(name, f"integer {name}", num_operands=2, num_results=1,
-                     traits=("pure",), verify=_verify_binary_same_type)
+                     traits=("pure",), verify=_verify_binary_same_type,
+                     fold=_INT_FOLDS[name])
         arith.op("negf", "float negation", num_operands=1, num_results=1,
-                 traits=("pure",))
+                 traits=("pure",), fold=_fold_negf)
         arith.op("cmpf", "float comparison", num_operands=2, num_results=1,
                  required_attrs={"predicate": "lt/le/gt/ge/eq/ne"},
-                 traits=("pure",))
+                 traits=("pure",), fold=_fold_cmp)
         arith.op("cmpi", "integer comparison", num_operands=2, num_results=1,
                  required_attrs={"predicate": "lt/le/gt/ge/eq/ne"},
-                 traits=("pure",))
+                 traits=("pure",), fold=_fold_cmp)
         arith.op("select", "ternary select", num_operands=3, num_results=1,
-                 traits=("pure",))
+                 traits=("pure",), fold=_fold_select)
         arith.op("index_cast", "index <-> integer cast", num_operands=1,
-                 num_results=1, traits=("pure",))
+                 num_results=1, traits=("pure",),
+                 fold=_make_cast_fold(lambda value: value))
         arith.op("sitofp", "signed int to float", num_operands=1,
-                 num_results=1, traits=("pure",))
+                 num_results=1, traits=("pure",),
+                 fold=_make_cast_fold(float))
         arith.op("fptosi", "float to signed int", num_operands=1,
-                 num_results=1, traits=("pure",))
+                 num_results=1, traits=("pure",),
+                 fold=_make_cast_fold(int))
         arith.op("truncf", "float precision truncation", num_operands=1,
                  num_results=1, traits=("pure",))
         arith.op("extf", "float precision extension", num_operands=1,
                  num_results=1, traits=("pure",))
 
-    math = register_dialect("math", "transcendental functions")
-    if "exp" not in math:
+    math_dialect = register_dialect("math", "transcendental functions")
+    if "exp" not in math_dialect:
         for name in ("exp", "log", "sqrt", "sin", "cos", "tanh", "atan2",
                      "erf", "abs"):
             arity = 2 if name == "atan2" else 1
-            math.op(name, f"math.{name}", num_operands=arity, num_results=1,
-                    traits=("pure",))
+            math_dialect.op(name, f"math.{name}", num_operands=arity,
+                            num_results=1, traits=("pure",),
+                            fold=_MATH_FOLDS[name])
 
     tensor = register_dialect("tensor", "immutable tensor values")
     if "empty" not in tensor:
@@ -152,7 +319,8 @@ def register() -> None:
     if "stage" not in buffer:
         buffer.op("stage", "stage a buffer into another memory space",
                   num_operands=1, num_results=1,
-                  required_attrs={"space": "target memory space"})
+                  required_attrs={"space": "target memory space"},
+                  fold=_fold_stage)
         buffer.op("release", "release a staged buffer", num_operands=1,
                   num_results=0)
 

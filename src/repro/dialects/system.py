@@ -32,6 +32,43 @@ def _verify_base2_arith(op: Operation) -> None:
             )
 
 
+def _fold_identity_cast(op: Operation):
+    """``base2.cast`` to the type the value already has is a no-op.
+
+    Chains of casts are *not* folded: a narrowing/widening round trip is
+    lossy, so only the exact-same-type case is safe."""
+    if op.operands[0].type == op.results[0].type:
+        return op.operands[0]
+    return None
+
+
+def _fold_nested_wrap(op: Operation):
+    """``cyclic.wrap(cyclic.wrap(x, m), m)`` -> the inner wrap."""
+    source = op.operands[0]
+    producer = source.owner_op()
+    if producer is None or producer.name != "cyclic.wrap":
+        return None
+    if producer.attr("modulus") != op.attr("modulus"):
+        return None
+    if source.type != op.results[0].type:
+        return None
+    return source
+
+
+def _fold_full_extract(op: Operation):
+    """``bit.extract`` of a value's full bit range is the value itself."""
+    from repro.ir.types import bitwidth
+
+    try:
+        width = bitwidth(op.operands[0].type)
+    except IRError:
+        return None
+    if op.attr("lo") == 0 and op.attr("hi") == width - 1 and \
+            op.operands[0].type == op.results[0].type:
+        return op.operands[0]
+    return None
+
+
 def register() -> None:
     """Register the system-side dialects (idempotent)."""
     dfg = register_dialect("dfg", "deterministic dataflow graphs (ConDRust)")
@@ -89,7 +126,7 @@ def register() -> None:
     base2 = register_dialect("base2", "custom binary numeral formats")
     if "cast" not in base2:
         base2.op("cast", "convert between numeral formats", num_operands=1,
-                 num_results=1, traits=("pure",))
+                 num_results=1, traits=("pure",), fold=_fold_identity_cast)
         for name in ("add", "sub", "mul", "div"):
             base2.op(name, f"{name} on custom formats", num_operands=2,
                      num_results=1, traits=("pure",),
@@ -105,12 +142,12 @@ def register() -> None:
     if "wrap" not in cyclic:
         cyclic.op("wrap", "wrap a value into a modulus", num_operands=1,
                   num_results=1, required_attrs={"modulus": "the modulus"},
-                  traits=("pure",))
+                  traits=("pure",), fold=_fold_nested_wrap)
     bit = register_dialect("bit", "raw bit manipulation")
     if "extract" not in bit:
         bit.op("extract", "extract a bit range", num_operands=1, num_results=1,
                required_attrs={"lo": "low bit", "hi": "high bit"},
-               traits=("pure",))
+               traits=("pure",), fold=_fold_full_extract)
         bit.op("concat", "concatenate bit vectors", num_results=1,
                traits=("pure",))
     ub = register_dialect("ub", "undefined behaviour markers")

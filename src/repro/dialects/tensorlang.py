@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.errors import IRError
 from repro.ir.core import Operation
 from repro.ir.dialect import VARIADIC, register_dialect
+from repro.ir.passes import PatternRewriter, RewritePattern
 from repro.ir.types import TensorType
 
 
@@ -47,6 +48,133 @@ def _verify_einsum(op: Operation) -> None:
         )
 
 
+# -- canonicalization ------------------------------------------------------------
+
+
+def _fold_identity_transpose(op: Operation):
+    perm = op.attr("perm")
+    if perm == list(range(len(perm or []))) and \
+            op.operands[0].type == op.results[0].type:
+        return op.operands[0]
+    return None
+
+
+def _fold_identity_reshape(op: Operation):
+    if op.operands[0].type == op.results[0].type:
+        return op.operands[0]
+    return None
+
+
+def _fold_identity_broadcast(op: Operation):
+    if op.attr("in_axes") == op.attr("axes") and \
+            op.operands[0].type == op.results[0].type:
+        return op.operands[0]
+    return None
+
+
+def _fold_empty_reduce(op: Operation):
+    if op.attr("axes") == [] and op.operands[0].type == op.results[0].type:
+        return op.operands[0]
+    return None
+
+
+def _fold_select_same(op: Operation):
+    if len(op.operands) == 3 and op.operands[1] is op.operands[2]:
+        return op.operands[1]
+    return None
+
+
+# Identity elements of the elementwise map functions.  Only float-safe
+# identities are listed (no ``x * 0`` — NaN/Inf); ``subf``/``divf`` fold on
+# the right operand only.
+_MAP_RIGHT_IDENTITY = {"addf": 0.0, "subf": 0.0, "mulf": 1.0, "divf": 1.0}
+_MAP_LEFT_IDENTITY = {"addf": 0.0, "mulf": 1.0}
+
+
+def _broadcast_source_const(value):
+    """The scalar constant a value broadcasts from, or None.
+
+    Chases through ``esn.broadcast``/``teil.broadcast`` producers to an
+    ``arith.constant``/``ekl.literal`` (rank-0 literals are broadcast into
+    the map's iteration space by the lowerings)."""
+    producer = value.owner_op()
+    while producer is not None and \
+            producer.name in ("esn.broadcast", "teil.broadcast"):
+        value = producer.operands[0]
+        producer = value.owner_op()
+    if producer is not None and \
+            producer.name in ("arith.constant", "ekl.literal"):
+        constant = producer.attr("value")
+        if isinstance(constant, (bool, int, float)):
+            return constant
+    return None
+
+
+def _fold_map_identity(op: Operation):
+    """``map(addf)(x, broadcast(0.0)) -> x`` and friends."""
+    if len(op.operands) != 2:
+        return None
+    fn = op.attr("fn")
+    lhs, rhs = op.operands
+    result_type = op.results[0].type
+    right_id = _MAP_RIGHT_IDENTITY.get(fn)
+    if right_id is not None and lhs.type == result_type and \
+            _broadcast_source_const(rhs) == right_id:
+        return lhs
+    left_id = _MAP_LEFT_IDENTITY.get(fn)
+    if left_id is not None and rhs.type == result_type and \
+            _broadcast_source_const(lhs) == left_id:
+        return rhs
+    return None
+
+
+class _TransposeOfTranspose(RewritePattern):
+    """``transpose(transpose(x, p), q)`` -> one transpose with ``p∘q``
+    (or just ``x`` when the composition is the identity)."""
+
+    op_name = "teil.transpose"
+
+    def match_and_rewrite(self, op: Operation,
+                          rewriter: PatternRewriter) -> bool:
+        inner = op.operands[0].owner_op()
+        if inner is None or inner.name != "teil.transpose":
+            return False
+        p, q = inner.attr("perm"), op.attr("perm")
+        if not p or not q or len(p) != len(q):
+            return False
+        combined = [p[j] for j in q]
+        source = inner.operands[0]
+        if combined == list(range(len(combined))):
+            if source.type != op.results[0].type:
+                return False
+            rewriter.replace_op(op, [source])
+            return True
+        merged = rewriter.builder_before(op).create(
+            "teil.transpose", [source], [op.results[0].type],
+            {"perm": combined},
+        )
+        rewriter.replace_op(op, [merged.result])
+        return True
+
+
+class _ReshapeOfReshape(RewritePattern):
+    """``reshape(reshape(x))`` -> ``reshape(x)``."""
+
+    op_name = "teil.reshape"
+
+    def match_and_rewrite(self, op: Operation,
+                          rewriter: PatternRewriter) -> bool:
+        inner = op.operands[0].owner_op()
+        if inner is None or inner.name != "teil.reshape":
+            return False
+        merged = rewriter.builder_before(op).create(
+            "teil.reshape", [inner.operands[0]], [op.results[0].type],
+            dict(op.attributes),
+        )
+        rewriter.replace_op(op, [merged.result])
+        return True
+
+
 def register() -> None:
     """Register the tensor-language dialects (idempotent)."""
     ekl = register_dialect("ekl", "EVEREST Kernel Language ops")
@@ -58,7 +186,7 @@ def register() -> None:
                traits=("symbol",))
         ekl.op("arg", "bind a kernel argument tensor", num_operands=0,
                num_results=1, required_attrs={"name": "argument name"},
-               traits=("pure",), verify=_verify_axes)
+               traits=("pure", "interface"), verify=_verify_axes)
         ekl.op("literal", "scalar literal broadcast over axes",
                num_operands=0, num_results=1,
                required_attrs={"value": "the literal"}, traits=("pure",))
@@ -99,23 +227,26 @@ def register() -> None:
                required_attrs={"spec": "gather axis spec"},
                traits=("pure",))
         esn.op("select", "elementwise select", num_operands=3, num_results=1,
-               traits=("pure",))
+               traits=("pure",), fold=_fold_select_same)
         esn.op("map", "elementwise scalar function over operands",
                num_results=1, required_attrs={"fn": "scalar op name"},
-               traits=("pure",))
+               traits=("pure",), fold=_fold_map_identity)
         esn.op("stack", "stack tensors along a new trailing axis",
                num_results=1, traits=("pure",))
         esn.op("iota", "index values along an axis", num_operands=0,
                num_results=1, required_attrs={"extent": "axis length"},
                traits=("pure",))
         esn.op("broadcast", "insert broadcast axes", num_operands=1,
-               num_results=1, traits=("pure",))
+               num_results=1, traits=("pure",),
+               fold=_fold_identity_broadcast)
         esn.op("reduce", "sum over named axes", num_operands=1,
                num_results=1, required_attrs={"axes": "axis positions"},
-               traits=("pure",))
+               traits=("pure",), fold=_fold_empty_reduce)
 
     teil = register_dialect("teil", "Tensor Intermediate Language")
     if "contract" not in teil:
+        teil.add_canonical_pattern(_TransposeOfTranspose())
+        teil.add_canonical_pattern(_ReshapeOfReshape())
         teil.op("contract", "pairwise tensor contraction", num_operands=2,
                 num_results=1,
                 required_attrs={"lhs_axes": "contraction axes of lhs",
@@ -124,25 +255,28 @@ def register() -> None:
         teil.op("reduce", "reduction over trailing axes", num_operands=1,
                 num_results=1,
                 required_attrs={"axes": "axes to reduce", "kind": "add/mul/max"},
-                traits=("pure",))
+                traits=("pure",), fold=_fold_empty_reduce)
         teil.op("map", "elementwise op", num_results=1,
-                required_attrs={"fn": "scalar op name"}, traits=("pure",))
+                required_attrs={"fn": "scalar op name"}, traits=("pure",),
+                fold=_fold_map_identity)
         teil.op("gather", "gather with integer index tensors", num_results=1,
                 traits=("pure",))
         teil.op("stack", "stack along new trailing axis", num_results=1,
                 traits=("pure",))
         teil.op("transpose", "permute axes", num_operands=1, num_results=1,
-                required_attrs={"perm": "axis permutation"}, traits=("pure",))
+                required_attrs={"perm": "axis permutation"}, traits=("pure",),
+                fold=_fold_identity_transpose)
         teil.op("reshape", "reshape", num_operands=1, num_results=1,
-                traits=("pure",))
+                traits=("pure",), fold=_fold_identity_reshape)
         teil.op("broadcast", "broadcast to shape", num_operands=1,
-                num_results=1, traits=("pure",))
+                num_results=1, traits=("pure",),
+                fold=_fold_identity_broadcast)
         teil.op("constant", "tensor literal", num_operands=0, num_results=1,
                 required_attrs={"value": "dense data"}, traits=("pure",))
         teil.op("iota", "0..n-1 vector", num_operands=0, num_results=1,
                 traits=("pure",))
         teil.op("select", "elementwise select", num_operands=3, num_results=1,
-                traits=("pure",))
+                traits=("pure",), fold=_fold_select_same)
 
     cfdlang = register_dialect("cfdlang", "legacy CFDlang frontend dialect")
     if "program" not in cfdlang:
@@ -153,7 +287,7 @@ def register() -> None:
         cfdlang.op("decl", "tensor variable declaration", num_operands=0,
                    num_results=1,
                    required_attrs={"name": "variable", "io": "in/out/var"},
-                   traits=("pure",))
+                   traits=("pure", "interface"))
         cfdlang.op("product", "outer product", num_operands=2, num_results=1,
                    traits=("pure",))
         cfdlang.op("contract", "contraction over paired dims", num_operands=1,

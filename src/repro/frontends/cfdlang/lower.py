@@ -85,8 +85,11 @@ def lower_program_to_cfdlang(program: Program, name: str = "cfd") -> Module:
 
 
 @register_lowering("cfdlang", "teil")
-def lower_cfdlang_to_teil(module: Module) -> Module:
-    """Convert cfdlang ops into teil tensor ops inside a func."""
+def lower_cfdlang_to_teil(module: Module, *, canonicalize: bool = True) -> Module:
+    """Convert cfdlang ops into teil tensor ops inside a func.
+
+    Canonicalizes the result (fold/DCE/CSE) unless ``canonicalize=False``.
+    """
     out = Module()
     for program_op in module.body:
         if program_op.name != "cfdlang.program":
@@ -134,6 +137,10 @@ def lower_cfdlang_to_teil(module: Module) -> Module:
                 outputs.append(mapping[op.operands[0]])
                 output_names.append(op.attr("name"))
         builder.create("func.return", outputs, [], {"names": output_names})
+    if canonicalize:
+        from repro.ir.canonicalize import canonicalize_module
+
+        canonicalize_module(out)
     return out
 
 

@@ -283,13 +283,16 @@ def lower_kernel_to_ekl(kernel: ast.Kernel) -> Module:
 
 
 @register_lowering("ekl", "esn")
-def lower_ekl_to_esn(module: Module) -> Module:
+def lower_ekl_to_esn(module: Module, *, canonicalize: bool = True) -> Module:
     """Convert ``ekl`` ops into the Einstein-notation dialect.
 
     Named axes disappear: every value receives a concrete axis order (the
     ``axes`` attribute order from the ekl level) and broadcasts, gathers,
-    einsums and maps become explicit.
+    einsums and maps become explicit.  The result is canonicalized
+    (fold/DCE/CSE, see :mod:`repro.ir.canonicalize`) unless
+    ``canonicalize=False`` asks for the raw lowering.
     """
+    from repro.ir.canonicalize import canonicalize_module
     from repro.ir.core import Block, Region
 
     out = Module()
@@ -310,7 +313,7 @@ def lower_ekl_to_esn(module: Module) -> Module:
         mapping: Dict[Value, Value] = {}
         for inner in op.regions[0].entry:
             _convert_ekl_op(inner, builder, mapping)
-    return out
+    return canonicalize_module(out) if canonicalize else out
 
 
 _EKL_TO_MAP_FN = {"ekl.add": "addf", "ekl.sub": "subf", "ekl.mul": "mulf",

@@ -33,6 +33,14 @@ from repro.ir.attributes import (
     unwrap,
 )
 from repro.ir.builder import Builder, build_func
+from repro.ir.canonicalize import (
+    CanonicalizePass,
+    EraseTriviallyDead,
+    FoldPatterns,
+    canonical_pattern_set,
+    canonicalize_module,
+    constant_value,
+)
 from repro.ir.core import (
     Block,
     BlockArgument,
@@ -55,6 +63,8 @@ from repro.ir.passes import (
     apply_patterns,
 )
 from repro.ir.printer import print_module, print_op
+from repro.ir.rewrite import WorklistRewriter, apply_patterns_worklist, is_attached
+from repro.ir.symbols import InlinePass, SymbolTable
 from repro.ir.verifier import verify
 
 __all__ = [
@@ -97,6 +107,17 @@ __all__ = [
     "RewritePattern",
     "PatternRewriter",
     "apply_patterns",
+    "apply_patterns_worklist",
+    "is_attached",
+    "WorklistRewriter",
     "DeadCodeElimination",
     "CommonSubexpressionElimination",
+    "CanonicalizePass",
+    "EraseTriviallyDead",
+    "FoldPatterns",
+    "canonical_pattern_set",
+    "canonicalize_module",
+    "constant_value",
+    "SymbolTable",
+    "InlinePass",
 ]

@@ -365,6 +365,13 @@ class Module:
     def walk(self) -> Iterator[Operation]:
         return self.op.walk()
 
+    def clone(self) -> "Module":
+        """Deep-copy the whole module (passes mutate in place; clone first
+        to keep an unoptimized baseline, e.g. for differential testing)."""
+        copy = Module.__new__(Module)
+        copy.op = self.op.clone()
+        return copy
+
     def __str__(self) -> str:
         from repro.ir.printer import print_module
 

@@ -29,7 +29,14 @@ class OpDef:
     ``required_attrs`` maps attribute name to a human-readable description.
     ``verify`` is an optional callable raising :class:`IRError` on violation.
     ``traits`` is a free-form set of markers (e.g. ``"terminator"``,
-    ``"pure"``, ``"symbol"``) that passes may query.
+    ``"pure"``, ``"symbol"``, ``"interface"``) that passes may query.
+
+    ``fold`` is the canonicalization hook (MLIR's ``fold``): given an op it
+    returns ``None`` (no fold), an existing :class:`~repro.ir.core.Value`
+    to replace the op's single result, or a constant (an
+    :class:`~repro.ir.attributes.Attribute` or a plain int/float/bool) that
+    the driver materializes as an ``arith.constant``.  Fold hooks must not
+    create or mutate operations — value-returning simplifications only.
     """
 
     name: str
@@ -40,6 +47,7 @@ class OpDef:
     required_attrs: Dict[str, str] = field(default_factory=dict)
     traits: Tuple[str, ...] = ()
     verify: Optional[Callable[[Operation], None]] = None
+    fold: Optional[Callable[[Operation], object]] = None
 
     def check(self, op: Operation) -> None:
         """Structural check of ``op`` against this definition."""
@@ -75,6 +83,9 @@ class Dialect:
         self.name = name
         self.description = description
         self.ops: Dict[str, OpDef] = {}
+        # RewritePattern instances contributed to CanonicalizePass (for
+        # rewrites that create ops and therefore cannot be fold hooks).
+        self.canonical_patterns: list = []
 
     def op(
         self,
@@ -86,6 +97,7 @@ class Dialect:
         required_attrs: Optional[Dict[str, str]] = None,
         traits: Iterable[str] = (),
         verify: Optional[Callable[[Operation], None]] = None,
+        fold: Optional[Callable[[Operation], object]] = None,
     ) -> OpDef:
         """Define and register an operation in this dialect."""
         full = f"{self.name}.{opname}"
@@ -100,9 +112,14 @@ class Dialect:
             required_attrs=dict(required_attrs or {}),
             traits=tuple(traits),
             verify=verify,
+            fold=fold,
         )
         self.ops[opname] = opdef
         return opdef
+
+    def add_canonical_pattern(self, pattern) -> None:
+        """Contribute a rewrite pattern to the canonicalization pass."""
+        self.canonical_patterns.append(pattern)
 
     def __contains__(self, opname: str) -> bool:
         return opname in self.ops
@@ -136,6 +153,13 @@ class DialectRegistry:
 
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self.dialects))
+
+    def canonical_patterns(self) -> list:
+        """All canonicalization patterns contributed by registered dialects."""
+        patterns: list = []
+        for name in sorted(self.dialects):
+            patterns.extend(self.dialects[name].canonical_patterns)
+        return patterns
 
 
 # The default global registry.  ``repro.dialects`` populates it on import.

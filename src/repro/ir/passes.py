@@ -134,18 +134,31 @@ def apply_patterns(
     patterns: Iterable[RewritePattern],
     max_iterations: int = 32,
 ) -> bool:
-    """Greedy driver: apply ``patterns`` until fixpoint.
+    """Greedy full-sweep driver: apply ``patterns`` until fixpoint.
 
     Returns True when any pattern fired.  Patterns must be confluent enough
     to converge within ``max_iterations`` sweeps; exceeding the cap raises.
+
+    Each sweep snapshots the op list up front, so an op can be visited
+    after an *ancestor* was erased; those ops have already been detached
+    from the def-use graph (empty operand lists) and must not be offered
+    to patterns.  A plain ``op.parent is None`` check only catches the
+    erased op itself — nested ops keep their block pointers — so the
+    whole ancestor chain is verified (see :func:`repro.ir.rewrite.is_attached`).
+
+    Prefer :func:`repro.ir.rewrite.apply_patterns_worklist` for anything
+    but tiny modules: this driver re-visits every op each sweep, which is
+    O(ops x iterations) (benchmarked in ``BENCH_ir_canonicalize.json``).
     """
+    from repro.ir.rewrite import is_attached
+
     patterns = list(patterns)
     changed_ever = False
     for _ in range(max_iterations):
         rewriter = PatternRewriter()
         for op in list(module.walk()):
-            if op.parent is None and op is not module.op:
-                continue  # already erased during this sweep
+            if op is not module.op and not is_attached(op, module.op):
+                continue  # erased (or inside an erased ancestor) this sweep
             for pattern in patterns:
                 if pattern.op_name is not None and op.name != pattern.op_name:
                     continue
@@ -165,6 +178,13 @@ def _is_pure(op: Operation) -> bool:
     return opdef is not None and "pure" in opdef.traits
 
 
+def _is_interface(op: Operation) -> bool:
+    """Ops carrying the ``interface`` trait (kernel arguments, declarations)
+    are part of a function's contract and survive even when unused."""
+    opdef = REGISTRY.opdef_for(op)
+    return opdef is not None and "interface" in opdef.traits
+
+
 class DeadCodeElimination(Pass):
     """Erase pure ops whose results are all unused (iteratively)."""
 
@@ -179,7 +199,7 @@ class DeadCodeElimination(Pass):
                     continue
                 if not op.results or any(r.has_uses for r in op.results):
                     continue
-                if _is_pure(op):
+                if _is_pure(op) and not _is_interface(op):
                     op.erase()
                     changed = True
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.ir.core import Block, Module, Operation, Region, Value
+from repro.ir.types import FunctionType
 
 
 class _PrintState:
@@ -75,7 +76,12 @@ def _print_op(op: Operation, state: _PrintState, indent: int, out: list) -> None
     in_types = ", ".join(str(v.type) for v in op.operands)
     out_types = [str(r.type) for r in op.results]
     if len(out_types) == 1:
-        sig = f"({in_types}) -> {out_types[0]}"
+        # A bare function-type result would make the signature ambiguous
+        # ("(...) -> (...) -> ..."): parenthesize it (found by irfuzz).
+        if isinstance(op.results[0].type, FunctionType):
+            sig = f"({in_types}) -> ({out_types[0]})"
+        else:
+            sig = f"({in_types}) -> {out_types[0]}"
     else:
         sig = f"({in_types}) -> ({', '.join(out_types)})"
     text += f" : {sig}"

@@ -1,0 +1,142 @@
+"""Symbol tables and the function inliner.
+
+:class:`SymbolTable` is a cached view of a module's symbol-defining ops
+(ops carrying a ``sym_name`` attribute at module scope) with insertion and
+unique-name support — the mutable counterpart of
+:meth:`repro.ir.core.Module.symbols`, which rebuilds its dict on every
+call.
+
+:class:`InlinePass` inlines ``func.call`` operations: the callee's single
+entry block is cloned before the call with block arguments bound to the
+call operands, the call results are replaced by the cloned return values,
+and the call is erased.  Recursion is bounded by ``max_depth`` rounds so
+mutually-recursive call graphs terminate with the remaining calls intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.errors import IRError
+from repro.ir.builder import Builder
+from repro.ir.core import Module, Operation, Value
+from repro.ir.passes import Pass
+
+
+class SymbolTable:
+    """A cached symbol-name -> defining-op map over a module's top level."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._table: Dict[str, Operation] = {}
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        self._table = {}
+        for op in self.module.body:
+            name = op.attr("sym_name")
+            if isinstance(name, str):
+                if name in self._table:
+                    raise IRError(f"duplicate symbol: {name}")
+                self._table[name] = op
+
+    def lookup(self, name: str) -> Optional[Operation]:
+        return self._table.get(name)
+
+    def insert(self, op: Operation) -> Operation:
+        """Append a symbol-defining op to the module, renaming on clash."""
+        name = op.attr("sym_name")
+        if not isinstance(name, str):
+            raise IRError("symbol table insert needs a sym_name attribute")
+        unique = self.unique_name(name)
+        if unique != name:
+            op.set_attr("sym_name", unique)
+        self.module.append(op)
+        self._table[unique] = op
+        return op
+
+    def unique_name(self, base: str) -> str:
+        if base not in self._table:
+            return base
+        suffix = 0
+        while f"{base}_{suffix}" in self._table:
+            suffix += 1
+        return f"{base}_{suffix}"
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+def _inlinable_callee(callee: Optional[Operation]) -> bool:
+    if callee is None or callee.name != "func.func":
+        return False
+    if len(callee.regions) != 1 or len(callee.regions[0].blocks) != 1:
+        return False
+    terminator = callee.regions[0].entry.terminator
+    return terminator is not None and terminator.name == "func.return"
+
+
+class InlinePass(Pass):
+    """Inline every ``func.call`` whose callee is a single-block function."""
+
+    name = "inline"
+
+    def __init__(self, max_depth: int = 8):
+        self.max_depth = max_depth
+        self.inlined = 0
+
+    def run(self, module: Module) -> None:
+        self.inlined = 0
+        for _ in range(self.max_depth):
+            if not self._run_round(module):
+                return
+
+    def _run_round(self, module: Module) -> bool:
+        table = SymbolTable(module)
+        progress = False
+        for call in [op for op in module.walk() if op.name == "func.call"]:
+            if call.parent is None:
+                continue
+            if self._inline_call(call, table):
+                progress = True
+        return progress
+
+    def _inline_call(self, call: Operation, table: SymbolTable) -> bool:
+        callee_name = call.attr("callee")
+        callee = table.lookup(callee_name) if isinstance(callee_name, str) \
+            else None
+        if not _inlinable_callee(callee):
+            return False
+        entry = callee.regions[0].entry
+        terminator = entry.terminator
+        if len(entry.args) != len(call.operands):
+            raise IRError(
+                f"func.call @{callee_name}: {len(call.operands)} operands "
+                f"for {len(entry.args)} parameters"
+            )
+        if len(terminator.operands) != len(call.results):
+            raise IRError(
+                f"func.call @{callee_name}: callee returns "
+                f"{len(terminator.operands)} values, call expects "
+                f"{len(call.results)}"
+            )
+        value_map: Dict[Value, Value] = dict(zip(entry.args, call.operands))
+        builder = Builder.before(call)
+        # Snapshot the callee body: for a self-recursive call the clones
+        # are inserted into the very block being read, and iterating the
+        # live list would re-visit them forever.
+        for op in list(entry.operations):
+            if op is terminator:
+                break
+            builder.insert(op._clone_into(value_map))
+        for result, returned in zip(call.results, terminator.operands):
+            result.replace_all_uses_with(value_map.get(returned, returned))
+        call.erase()
+        self.inlined += 1
+        return True

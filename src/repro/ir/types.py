@@ -163,7 +163,12 @@ class FunctionType(Type):
     def __str__(self) -> str:
         ins = ", ".join(str(t) for t in self.inputs)
         if len(self.results) == 1:
-            return f"({ins}) -> {self.results[0]}"
+            result = self.results[0]
+            # A bare function-type result is ambiguous to the parser
+            # ("(...) -> (...) -> ..."); parenthesize it.
+            if isinstance(result, FunctionType):
+                return f"({ins}) -> ({result})"
+            return f"({ins}) -> {result}"
         outs = ", ".join(str(t) for t in self.results)
         return f"({ins}) -> ({outs})"
 

@@ -15,13 +15,19 @@ from typing import Any, Dict, List
 
 @dataclass
 class StageTiming:
-    """One stage execution event."""
+    """One stage execution event.
+
+    ``aux`` marks informational sub-events (e.g. the per-pass timings the
+    ``canonicalize`` stage emits); they appear in summaries but do not
+    count toward the stage cache statistics or the total.
+    """
 
     stage: str
     seconds: float
     cached: bool
     parallel: bool = False
     detail: str = ""
+    aux: bool = False
 
 
 @dataclass
@@ -31,28 +37,29 @@ class PipelineReport:
     events: List[StageTiming] = field(default_factory=list)
 
     def record(self, stage: str, seconds: float, *, cached: bool,
-               parallel: bool = False, detail: str = "") -> StageTiming:
-        event = StageTiming(stage, seconds, cached, parallel, detail)
+               parallel: bool = False, detail: str = "",
+               aux: bool = False) -> StageTiming:
+        event = StageTiming(stage, seconds, cached, parallel, detail, aux)
         self.events.append(event)
         return event
 
     @property
     def total_seconds(self) -> float:
-        return sum(e.seconds for e in self.events)
+        return sum(e.seconds for e in self.events if not e.aux)
 
     @property
     def cache_hits(self) -> int:
-        return sum(1 for e in self.events if e.cached)
+        return sum(1 for e in self.events if e.cached and not e.aux)
 
     @property
     def cache_misses(self) -> int:
-        return sum(1 for e in self.events if not e.cached)
+        return sum(1 for e in self.events if not e.cached and not e.aux)
 
     def stage_seconds(self) -> Dict[str, float]:
         """Total executed (non-cached) seconds per stage name."""
         totals: Dict[str, float] = {}
         for event in self.events:
-            if not event.cached:
+            if not event.cached and not event.aux:
                 totals[event.stage] = totals.get(event.stage, 0.0) \
                     + event.seconds
         return totals
@@ -64,7 +71,7 @@ class PipelineReport:
             "cache_misses": self.cache_misses,
             "events": [
                 {"stage": e.stage, "seconds": e.seconds, "cached": e.cached,
-                 "parallel": e.parallel, "detail": e.detail}
+                 "parallel": e.parallel, "detail": e.detail, "aux": e.aux}
                 for e in self.events
             ],
         }

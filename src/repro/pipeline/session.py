@@ -148,25 +148,43 @@ class PipelineSession:
         return self.run_stage("frontend-parse", text,
                               key=self._source_key(text))
 
-    def lower(self, source: str) -> CompileResult:
-        """Frontend + dialect lowering: source -> verified affine module."""
+    def lower(self, source: str, *, opt_level: int = 1) -> CompileResult:
+        """Frontend + dialect lowering: source -> verified affine module.
+
+        ``opt_level`` selects the optimization pipeline: 0 is the raw
+        lowering, 1 (default) canonicalizes (fold + DCE + CSE through the
+        worklist rewriter), 2 additionally inlines ``func.call`` ops.  At
+        1+ a ``canonicalize`` stage runs on the lowered module and its
+        per-pass timings land in the session report.
+        """
         # Normalize once; run_stage directly so the file contents are
         # never themselves re-probed as a path.
         text = self.read_source(source)
         key, kernel = self.run_stage("frontend-parse", text,
                                      key=self._source_key(text))
-        key, module = self.run_stage("dialect-lowering", kernel, key=key)
+        # Keyed on the boolean, not the level: -O1 and -O2 share the
+        # lowering cache entry (the level only matters to `canonicalize`).
+        key, module = self.run_stage("dialect-lowering", kernel, key=key,
+                                     params={"canonicalize": opt_level > 0})
+        if opt_level > 0:
+            key, module = self.run_stage(
+                "canonicalize", module, key=key,
+                params={"opt_level": opt_level},
+                runtime_params={"report": self.report},
+                detail=f"O{opt_level}")
         return CompileResult(text, kernel, module, key=key)
 
     def compile(self, source: str, *,
                 number_format: Optional[str] = None,
-                clock_mhz: float = 300.0) -> CompileResult:
+                clock_mhz: float = 300.0,
+                opt_level: int = 1) -> CompileResult:
         """The full compile flow: parse, lower, synthesize.
 
         ``number_format`` is a compact spec (``"f32"``, ``"fixed<8.8>"``,
-        ``"posit<16,1>"``); ``None`` synthesizes in f64.
+        ``"posit<16,1>"``); ``None`` synthesizes in f64.  ``opt_level``
+        is forwarded to :meth:`lower`.
         """
-        result = self.lower(source)
+        result = self.lower(source, opt_level=opt_level)
         if number_format == "f64":
             number_format = None  # share the default-format cache entry
         params = {"number_format": number_format, "clock_mhz": clock_mhz}
@@ -180,9 +198,11 @@ class PipelineSession:
     def olympus(self, source: str, *, device: str = "alveo-u55c",
                 max_replicas: Optional[int] = None,
                 number_format: Optional[str] = None,
-                parallel: bool = False) -> OlympusResult:
+                parallel: bool = False,
+                opt_level: int = 1) -> OlympusResult:
         """Compile then explore/generate the system architecture."""
-        compiled = self.compile(source, number_format=number_format)
+        compiled = self.compile(source, number_format=number_format,
+                                opt_level=opt_level)
         params = {"device": device, "max_replicas": max_replicas,
                   "system_name": f"{compiled.report.name}_system"}
         runtime: Dict[str, Any] = {}
@@ -203,9 +223,11 @@ class PipelineSession:
         return result
 
     def deploy(self, source: str, *, device: str = "alveo-u55c",
-               nodes: int = 4, parallel: bool = False) -> DeploymentPlan:
+               nodes: int = 4, parallel: bool = False,
+               opt_level: int = 1) -> DeploymentPlan:
         """The end-to-end Fig. 2 flow, through the runtime schedule."""
-        olympus = self.olympus(source, device=device, parallel=parallel)
+        olympus = self.olympus(source, device=device, parallel=parallel,
+                               opt_level=opt_level)
         _, plan = self.run_stage("schedule", olympus, key=olympus.key,
                                  params={"nodes": nodes})
         return plan

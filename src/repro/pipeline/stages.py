@@ -5,6 +5,9 @@ Each function here implements one :class:`repro.pipeline.Stage`:
 ========================  =====================================================
 ``frontend-parse``        EKL source text -> kernel AST (§V-A1)
 ``dialect-lowering``      kernel AST -> verified ``affine`` module (Fig. 5)
+``canonicalize``          affine module -> canonicalized (and, at ``-O2``,
+                          inlined) module; per-pass timings land in the
+                          session's :class:`PipelineReport`
 ``hls``                   affine module -> :class:`KernelReport`, optionally
                           under a custom data format (§V-B)
 ``olympus``               kernel report -> DSE points, best config and the
@@ -75,8 +78,15 @@ def stage_frontend_parse(source: str) -> Any:
     return parse_kernel(source)
 
 
-def stage_dialect_lowering(kernel: Any) -> Any:
-    """``dialect-lowering``: ekl -> esn -> teil -> affine, then verify."""
+def stage_dialect_lowering(kernel: Any, *, canonicalize: bool = True) -> Any:
+    """``dialect-lowering``: ekl -> esn -> teil -> affine, then verify.
+
+    With ``canonicalize`` (the default) the *intermediate* lowering steps
+    canonicalize their output; the final affine module is left raw so the
+    session's ``canonicalize`` stage performs — and times — the
+    affine-level optimization itself.  ``canonicalize=False`` is the
+    fully raw chain (``--opt-level 0``).
+    """
     import repro.dialects  # noqa: F401 (registration side effect)
     from repro.frontends.ekl.lower import (
         lower_ekl_to_esn,
@@ -86,10 +96,51 @@ def stage_dialect_lowering(kernel: Any) -> Any:
     from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
 
     module = lower_teil_to_affine(
-        lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
+        lower_esn_to_teil(
+            lower_ekl_to_esn(lower_kernel_to_ekl(kernel),
+                             canonicalize=canonicalize),
+            canonicalize=canonicalize,
+        ),
+        canonicalize=False,
     )
     verify(module)
     return module
+
+
+def stage_canonicalize(module: Any, *, opt_level: int = 1,
+                       report: Any = None) -> Any:
+    """``canonicalize``: run the optimization pipeline on a lowered module.
+
+    Returns a canonicalized *clone* (cached stage results are shared across
+    callers and must never be mutated).  ``opt_level`` 2 adds the function
+    inliner before canonicalization.  ``report`` (a
+    :class:`~repro.pipeline.report.PipelineReport`, excluded from the cache
+    fingerprint) receives one event per sub-pass so ``basecamp pipeline``
+    can show where optimization time went.
+    """
+    import repro.dialects  # noqa: F401 (registration side effect)
+    from repro.ir import CanonicalizePass, InlinePass, verify
+
+    if opt_level <= 0:
+        return module
+    optimized = module.clone()
+    if opt_level >= 2:
+        from repro.pipeline.report import StageClock
+
+        inliner = InlinePass()
+        with StageClock() as clock:
+            inliner.run(optimized)
+        if report is not None:
+            report.record("canonicalize/inline", clock.seconds, cached=False,
+                          detail=f"{inliner.inlined} call(s)", aux=True)
+    canonicalizer = CanonicalizePass()
+    canonicalizer.run(optimized)
+    if report is not None:
+        for pass_name, seconds in canonicalizer.timings:
+            report.record(f"canonicalize/{pass_name}", seconds, cached=False,
+                          aux=True)
+    verify(optimized)
+    return optimized
 
 
 def stage_hls(payload: Tuple[Any, Any], *,
@@ -165,6 +216,8 @@ def builtin_stages() -> List[Tuple[str, Any, str]]:
          "EKL source text -> kernel AST"),
         ("dialect-lowering", stage_dialect_lowering,
          "kernel AST -> verified affine module"),
+        ("canonicalize", stage_canonicalize,
+         "fold/DCE/CSE (+ inlining at -O2) on the lowered module"),
         ("hls", stage_hls,
          "affine module -> HLS kernel report"),
         ("olympus", stage_olympus,

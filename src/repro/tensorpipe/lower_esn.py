@@ -15,8 +15,12 @@ from repro.ir import Builder, Module, Operation, Value, types as T
 
 
 @register_lowering("esn", "teil")
-def lower_esn_to_teil(module: Module) -> Module:
-    """Rewrite every esn op in every function into teil ops."""
+def lower_esn_to_teil(module: Module, *, canonicalize: bool = True) -> Module:
+    """Rewrite every esn op in every function into teil ops.
+
+    Canonicalizes the result (fold/DCE/CSE) unless ``canonicalize=False``.
+    """
+    from repro.ir.canonicalize import canonicalize_module
     from repro.ir.core import Block, Region
 
     out = Module()
@@ -36,7 +40,7 @@ def lower_esn_to_teil(module: Module) -> Module:
         mapping: Dict[Value, Value] = {}
         for op in func.regions[0].entry:
             _convert(op, builder, mapping)
-    return out
+    return canonicalize_module(out) if canonicalize else out
 
 
 def _convert(op: Operation, builder: Builder,

@@ -28,14 +28,20 @@ _CMP_FNS = {"cmp_le": "le", "cmp_lt": "lt", "cmp_ge": "ge", "cmp_gt": "gt",
 
 
 @register_lowering("teil", "affine")
-def lower_teil_to_affine(module: Module) -> Module:
-    """Lower every teil function in ``module`` to affine loop nests."""
+def lower_teil_to_affine(module: Module, *, canonicalize: bool = True) -> Module:
+    """Lower every teil function in ``module`` to affine loop nests.
+
+    Canonicalizes the result (fold/DCE/CSE inside the loop bodies) unless
+    ``canonicalize=False``.
+    """
+    from repro.ir.canonicalize import canonicalize_module
+
     out = Module()
     for func in module.body:
         if func.name != "func.func":
             continue
         _LoopGenerator(func, out).run()
-    return out
+    return canonicalize_module(out) if canonicalize else out
 
 
 class _LoopGenerator:

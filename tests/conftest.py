@@ -6,3 +6,11 @@ helpers) import it the same way.
 """
 
 import repro.dialects  # noqa: F401 (import for registration side effect)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden IR snapshots in tests/ir/golden/ instead "
+             "of comparing against them",
+    )

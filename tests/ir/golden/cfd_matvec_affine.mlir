@@ -1,0 +1,116 @@
+"builtin.module"() (
+{
+  "func.func"() (
+  {
+  ^bb0(%0: memref<3x4xf64>, %1: memref<4xf64>, %2: memref<3xf64>):
+    %3 = "memref.alloc"() : () -> memref<3x4x4xf64>
+    "affine.for"() (
+    {
+    ^bb1(%4: index):
+      "affine.for"() (
+      {
+      ^bb2(%5: index):
+        "affine.for"() (
+        {
+        ^bb3(%6: index):
+          %7 = "memref.load"(%0, %4, %5) : (memref<3x4xf64>, index, index) -> f64
+          "memref.store"(%7, %3, %4, %5, %6) : (f64, memref<3x4x4xf64>, index, index, index) -> ()
+          "affine.yield"() : () -> ()
+        }
+        ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %8 = "memref.alloc"() : () -> memref<3x4x4xf64>
+    "affine.for"() (
+    {
+    ^bb4(%9: index):
+      "affine.for"() (
+      {
+      ^bb5(%10: index):
+        "affine.for"() (
+        {
+        ^bb6(%11: index):
+          %12 = "memref.load"(%1, %11) : (memref<4xf64>, index) -> f64
+          "memref.store"(%12, %8, %9, %10, %11) : (f64, memref<3x4x4xf64>, index, index, index) -> ()
+          "affine.yield"() : () -> ()
+        }
+        ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %13 = "memref.alloc"() : () -> memref<3x4x4xf64>
+    "affine.for"() (
+    {
+    ^bb7(%14: index):
+      "affine.for"() (
+      {
+      ^bb8(%15: index):
+        "affine.for"() (
+        {
+        ^bb9(%16: index):
+          %17 = "memref.load"(%3, %14, %15, %16) : (memref<3x4x4xf64>, index, index, index) -> f64
+          %18 = "memref.load"(%8, %14, %15, %16) : (memref<3x4x4xf64>, index, index, index) -> f64
+          %19 = "arith.mulf"(%17, %18) : (f64, f64) -> f64
+          "memref.store"(%19, %13, %14, %15, %16) : (f64, memref<3x4x4xf64>, index, index, index) -> ()
+          "affine.yield"() : () -> ()
+        }
+        ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %20 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb10(%21: index):
+      "affine.for"() (
+      {
+      ^bb11(%22: index):
+        %23 = "memref.load"(%13, %21, %22, %22) : (memref<3x4x4xf64>, index, index, index) -> f64
+        "memref.store"(%23, %20, %21, %22) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %24 = "memref.alloc"() : () -> memref<3xf64>
+    "affine.for"() (
+    {
+    ^bb12(%25: index):
+      %26 = "arith.constant"() {value = 0.0 : f64} : () -> f64
+      "memref.store"(%26, %24, %25) : (f64, memref<3xf64>, index) -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    "affine.for"() (
+    {
+    ^bb13(%27: index):
+      "affine.for"() (
+      {
+      ^bb14(%28: index):
+        %29 = "memref.load"(%24, %27) : (memref<3xf64>, index) -> f64
+        %30 = "memref.load"(%20, %27, %28) : (memref<3x4xf64>, index, index) -> f64
+        %31 = "arith.addf"(%29, %30) : (f64, f64) -> f64
+        "memref.store"(%31, %24, %27) : (f64, memref<3xf64>, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    "memref.copy"(%24, %2) : (memref<3xf64>, memref<3xf64>) -> ()
+    "func.return"() : () -> ()
+  }
+  ) {arg_names = ["A", "x", "y"], function_type = (memref<3x4xf64>, memref<4xf64>, memref<3xf64>) -> (), kernel_lang = "affine", num_outputs = 1 : i64, sym_name = "matvec"} : () -> ()
+}
+) : () -> ()

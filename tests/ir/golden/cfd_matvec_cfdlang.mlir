@@ -1,0 +1,13 @@
+"builtin.module"() (
+{
+  "cfdlang.program"() (
+  {
+    %0 = "cfdlang.decl"() {io = "input", name = "A"} : () -> tensor<3x4xf64>
+    %1 = "cfdlang.decl"() {io = "input", name = "x"} : () -> tensor<4xf64>
+    %2 = "cfdlang.product"(%0, %1) : (tensor<3x4xf64>, tensor<4xf64>) -> tensor<3x4x4xf64>
+    %3 = "cfdlang.contract"(%2) {pairs = [[2 : i64, 3 : i64]]} : (tensor<3x4x4xf64>) -> tensor<3xf64>
+    "cfdlang.assign"(%3) {name = "y"} : (tensor<3xf64>) -> ()
+  }
+  ) {sym_name = "matvec"} : () -> ()
+}
+) : () -> ()

@@ -1,0 +1,16 @@
+"builtin.module"() (
+{
+  "func.func"() (
+  {
+    %0 = "ekl.arg"() {axes = ["d0", "d1"], name = "A"} : () -> tensor<3x4xf64>
+    %1 = "ekl.arg"() {axes = ["d0"], name = "x"} : () -> tensor<4xf64>
+    %2 = "teil.broadcast"(%0) {axes = ["d0", "d1", "d2"], in_axes = ["d0", "d1"]} : (tensor<3x4xf64>) -> tensor<3x4x4xf64>
+    %3 = "teil.broadcast"(%1) {axes = ["d0", "d1", "d2"], in_axes = ["d2"]} : (tensor<4xf64>) -> tensor<3x4x4xf64>
+    %4 = "teil.map"(%2, %3) {axes = ["d0", "d1", "d2"], fn = "mulf"} : (tensor<3x4x4xf64>, tensor<3x4x4xf64>) -> tensor<3x4x4xf64>
+    %5 = "teil.gather"(%4) {axes = ["d0", "d1"], base_axes = ["d0", "d1", "d1"], binding = [-1 : i64, -1 : i64, -1 : i64], sub_axes = []} : (tensor<3x4x4xf64>) -> tensor<3x4xf64>
+    %6 = "teil.reduce"(%5) {axes = [1 : i64], kind = "add", out_axes = ["d0"]} : (tensor<3x4xf64>) -> tensor<3xf64>
+    "func.return"(%6) {names = ["y"]} : (tensor<3xf64>) -> ()
+  }
+  ) {function_type = () -> (), kernel_lang = "teil", sym_name = "matvec"} : () -> ()
+}
+) : () -> ()

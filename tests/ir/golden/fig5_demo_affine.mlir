@@ -1,0 +1,68 @@
+"builtin.module"() (
+{
+  "func.func"() (
+  {
+  ^bb0(%0: memref<3x4xf64>, %1: memref<4xf64>, %2: memref<3xf64>):
+    %3 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb1(%4: index):
+      "affine.for"() (
+      {
+      ^bb2(%5: index):
+        %6 = "memref.load"(%1, %5) : (memref<4xf64>, index) -> f64
+        "memref.store"(%6, %3, %4, %5) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %7 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb3(%8: index):
+      "affine.for"() (
+      {
+      ^bb4(%9: index):
+        %10 = "memref.load"(%0, %8, %9) : (memref<3x4xf64>, index, index) -> f64
+        %11 = "memref.load"(%3, %8, %9) : (memref<3x4xf64>, index, index) -> f64
+        %12 = "arith.mulf"(%10, %11) : (f64, f64) -> f64
+        "memref.store"(%12, %7, %8, %9) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %13 = "memref.alloc"() : () -> memref<3xf64>
+    "affine.for"() (
+    {
+    ^bb5(%14: index):
+      %15 = "arith.constant"() {value = 0.0 : f64} : () -> f64
+      "memref.store"(%15, %13, %14) : (f64, memref<3xf64>, index) -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    "affine.for"() (
+    {
+    ^bb6(%16: index):
+      "affine.for"() (
+      {
+      ^bb7(%17: index):
+        %18 = "memref.load"(%13, %16) : (memref<3xf64>, index) -> f64
+        %19 = "memref.load"(%7, %16, %17) : (memref<3x4xf64>, index, index) -> f64
+        %20 = "arith.addf"(%18, %19) : (f64, f64) -> f64
+        "memref.store"(%20, %13, %16) : (f64, memref<3xf64>, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    "memref.copy"(%13, %2) : (memref<3xf64>, memref<3xf64>) -> ()
+    "func.return"() : () -> ()
+  }
+  ) {arg_names = ["a", "v", "y"], function_type = (memref<3x4xf64>, memref<4xf64>, memref<3xf64>) -> (), kernel_lang = "affine", num_outputs = 1 : i64, sym_name = "fig5_demo"} : () -> ()
+}
+) : () -> ()

@@ -1,0 +1,163 @@
+"builtin.module"() (
+{
+  "func.func"() (
+  {
+  ^bb0(%0: memref<3x4xf64>, %1: memref<4xf64>, %2: memref<3xf64>):
+    %3 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb1(%4: index):
+      "affine.for"() (
+      {
+      ^bb2(%5: index):
+        %6 = "memref.load"(%1, %5) : (memref<4xf64>, index) -> f64
+        "memref.store"(%6, %3, %4, %5) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %7 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb3(%8: index):
+      "affine.for"() (
+      {
+      ^bb4(%9: index):
+        %10 = "memref.load"(%0, %8, %9) : (memref<3x4xf64>, index, index) -> f64
+        %11 = "memref.load"(%3, %8, %9) : (memref<3x4xf64>, index, index) -> f64
+        %12 = "arith.mulf"(%10, %11) : (f64, f64) -> f64
+        "memref.store"(%12, %7, %8, %9) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %13 = "arith.constant"() {value = 0.0 : f64} : () -> f64
+    %14 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb5(%15: index):
+      "affine.for"() (
+      {
+      ^bb6(%16: index):
+        "memref.store"(%13, %14, %15, %16) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %17 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb7(%18: index):
+      "affine.for"() (
+      {
+      ^bb8(%19: index):
+        %20 = "memref.load"(%7, %18, %19) : (memref<3x4xf64>, index, index) -> f64
+        %21 = "memref.load"(%14, %18, %19) : (memref<3x4xf64>, index, index) -> f64
+        %22 = "arith.addf"(%20, %21) : (f64, f64) -> f64
+        "memref.store"(%22, %17, %18, %19) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %23 = "arith.constant"() {value = 1.0 : f64} : () -> f64
+    %24 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb9(%25: index):
+      "affine.for"() (
+      {
+      ^bb10(%26: index):
+        "memref.store"(%23, %24, %25, %26) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %27 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb11(%28: index):
+      "affine.for"() (
+      {
+      ^bb12(%29: index):
+        %30 = "memref.load"(%17, %28, %29) : (memref<3x4xf64>, index, index) -> f64
+        %31 = "memref.load"(%24, %28, %29) : (memref<3x4xf64>, index, index) -> f64
+        %32 = "arith.mulf"(%30, %31) : (f64, f64) -> f64
+        "memref.store"(%32, %27, %28, %29) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %33 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb13(%34: index):
+      "affine.for"() (
+      {
+      ^bb14(%35: index):
+        "memref.store"(%23, %33, %34, %35) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %36 = "memref.alloc"() : () -> memref<3x4xf64>
+    "affine.for"() (
+    {
+    ^bb15(%37: index):
+      "affine.for"() (
+      {
+      ^bb16(%38: index):
+        %39 = "memref.load"(%17, %37, %38) : (memref<3x4xf64>, index, index) -> f64
+        %40 = "memref.load"(%33, %37, %38) : (memref<3x4xf64>, index, index) -> f64
+        %41 = "arith.mulf"(%39, %40) : (f64, f64) -> f64
+        "memref.store"(%41, %36, %37, %38) : (f64, memref<3x4xf64>, index, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    %42 = "memref.alloc"() : () -> memref<3xf64>
+    "affine.for"() (
+    {
+    ^bb17(%43: index):
+      %44 = "arith.constant"() {value = 0.0 : f64} : () -> f64
+      "memref.store"(%44, %42, %43) : (f64, memref<3xf64>, index) -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    "affine.for"() (
+    {
+    ^bb18(%45: index):
+      "affine.for"() (
+      {
+      ^bb19(%46: index):
+        %47 = "memref.load"(%42, %45) : (memref<3xf64>, index) -> f64
+        %48 = "memref.load"(%36, %45, %46) : (memref<3x4xf64>, index, index) -> f64
+        %49 = "arith.addf"(%47, %48) : (f64, f64) -> f64
+        "memref.store"(%49, %42, %45) : (f64, memref<3xf64>, index) -> ()
+        "affine.yield"() : () -> ()
+      }
+      ) {lower = 0 : i64, step = 1 : i64, upper = 4 : i64} : () -> ()
+      "affine.yield"() : () -> ()
+    }
+    ) {lower = 0 : i64, step = 1 : i64, upper = 3 : i64} : () -> ()
+    "memref.copy"(%42, %2) : (memref<3xf64>, memref<3xf64>) -> ()
+    "func.return"() : () -> ()
+  }
+  ) {arg_names = ["a", "v", "y"], function_type = (memref<3x4xf64>, memref<4xf64>, memref<3xf64>) -> (), kernel_lang = "affine", num_outputs = 1 : i64, sym_name = "fig5_demo"} : () -> ()
+}
+) : () -> ()

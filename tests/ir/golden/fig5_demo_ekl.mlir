@@ -1,0 +1,17 @@
+"builtin.module"() (
+{
+  "ekl.kernel"() (
+  {
+    %0 = "ekl.arg"() {axes = ["i", "j"], name = "a"} : () -> tensor<3x4xf64>
+    %1 = "ekl.arg"() {axes = ["j"], name = "v"} : () -> tensor<4xf64>
+    %2 = "ekl.mul"(%0, %1) {axes = ["i", "j"]} : (tensor<3x4xf64>, tensor<4xf64>) -> tensor<3x4xf64>
+    %3 = "ekl.literal"() {axes = [], value = 0.0 : f64} : () -> tensor<f64>
+    %4 = "ekl.add"(%2, %3) {axes = ["i", "j"]} : (tensor<3x4xf64>, tensor<f64>) -> tensor<3x4xf64>
+    %5 = "ekl.literal"() {axes = [], value = 1.0 : f64} : () -> tensor<f64>
+    %6 = "ekl.mul"(%4, %5) {axes = ["i", "j"]} : (tensor<3x4xf64>, tensor<f64>) -> tensor<3x4xf64>
+    %7 = "ekl.sum"(%6) {axes = ["i"], over = ["j"]} : (tensor<3x4xf64>) -> tensor<3xf64>
+    "ekl.yield"(%7) {names = ["y"]} : (tensor<3xf64>) -> ()
+  }
+  ) {index_space = {i = 3 : i64, j = 4 : i64}, sym_name = "fig5_demo"} : () -> ()
+}
+) : () -> ()

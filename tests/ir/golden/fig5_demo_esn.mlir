@@ -1,0 +1,15 @@
+"builtin.module"() (
+{
+  "func.func"() (
+  {
+    %0 = "ekl.arg"() {axes = ["i", "j"], name = "a"} : () -> tensor<3x4xf64>
+    %1 = "ekl.arg"() {axes = ["j"], name = "v"} : () -> tensor<4xf64>
+    %2 = "esn.broadcast"(%1) {axes = ["i", "j"], in_axes = ["j"]} : (tensor<4xf64>) -> tensor<3x4xf64>
+    %3 = "esn.map"(%0, %2) {axes = ["i", "j"], fn = "mulf"} : (tensor<3x4xf64>, tensor<3x4xf64>) -> tensor<3x4xf64>
+    %4 = "arith.constant"() {value = 1.0 : f64} : () -> tensor<f64>
+    %5 = "esn.einsum"(%3, %4) {axes = ["i"], spec = "ab,->a"} : (tensor<3x4xf64>, tensor<f64>) -> tensor<3xf64>
+    "func.return"(%5) {names = ["y"]} : (tensor<3xf64>) -> ()
+  }
+  ) {function_type = () -> (), kernel_lang = "esn", sym_name = "fig5_demo"} : () -> ()
+}
+) : () -> ()

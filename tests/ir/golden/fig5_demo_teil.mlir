@@ -1,0 +1,14 @@
+"builtin.module"() (
+{
+  "func.func"() (
+  {
+    %0 = "ekl.arg"() {axes = ["i", "j"], name = "a"} : () -> tensor<3x4xf64>
+    %1 = "ekl.arg"() {axes = ["j"], name = "v"} : () -> tensor<4xf64>
+    %2 = "teil.broadcast"(%1) {axes = ["i", "j"], in_axes = ["j"]} : (tensor<4xf64>) -> tensor<3x4xf64>
+    %3 = "teil.map"(%0, %2) {axes = ["i", "j"], fn = "mulf"} : (tensor<3x4xf64>, tensor<3x4xf64>) -> tensor<3x4xf64>
+    %4 = "teil.reduce"(%3) {axes = [1 : i64], kind = "add", out_axes = ["a"]} : (tensor<3x4xf64>) -> tensor<3xf64>
+    "func.return"(%4) {names = ["y"]} : (tensor<3xf64>) -> ()
+  }
+  ) {function_type = () -> (), kernel_lang = "teil", sym_name = "fig5_demo"} : () -> ()
+}
+) : () -> ()

@@ -1,0 +1,216 @@
+"""Differential tests: canonicalization must not change program semantics.
+
+For EKL and CFDlang sample programs the affine-level module is
+interpreted *before* and *after* :class:`~repro.ir.CanonicalizePass`; the
+outputs must be bit-identical (the fold hooks intentionally mirror the
+affine interpreter's scalar semantics).  Each compiled result is also
+checked against the frontend's own reference interpreter, so the raw
+lowering, the optimized lowering and the language semantics all agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontends.cfdlang import (
+    lower_cfdlang_to_teil,
+    lower_program_to_cfdlang,
+    parse_program,
+    run_program,
+)
+from repro.frontends.ekl import Interpreter, parse_kernel
+from repro.frontends.ekl.lower import lower_ekl_to_esn, lower_kernel_to_ekl
+from repro.ir import CanonicalizePass, print_module, verify
+from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+from repro.tensorpipe.affine_interp import run_affine
+
+EKL_SAMPLES = [
+    (
+        "scale_shift",
+        """
+        kernel scale_shift {
+          index i: 6
+          input a[i]: f64
+          output y
+          y = a * 2.0 + 1.0 - 0.0
+        }
+        """,
+        lambda rng: {"a": rng.uniform(-4, 4, 6)},
+    ),
+    (
+        "matvec",
+        """
+        kernel matvec {
+          index i: 4, j: 5
+          input m[i, j]: f64
+          input v[j]: f64
+          output y
+          y = sum[j](m * v)
+        }
+        """,
+        lambda rng: {"m": rng.uniform(-1, 1, (4, 5)),
+                     "v": rng.uniform(-1, 1, 5)},
+    ),
+    (
+        "select_blend",
+        """
+        kernel select_blend {
+          index i: 8
+          input a[i]: f64
+          input b[i]: f64
+          output y
+          y = select(a <= b, a * 1.0, b + 0.0)
+        }
+        """,
+        lambda rng: {"a": rng.uniform(-2, 2, 8),
+                     "b": rng.uniform(-2, 2, 8)},
+    ),
+]
+
+CFD_SAMPLES = [
+    (
+        "matvec",
+        """
+        var input A : [4 5]
+        var input x : [5]
+        var output y : [4]
+        y = (A # x) . [[2 3]]
+        """,
+        lambda rng: {"A": rng.uniform(-1, 1, (4, 5)),
+                     "x": rng.uniform(-1, 1, 5)},
+    ),
+    (
+        "bilinear",
+        """
+        var input u : [3 4]
+        var input v : [4 3]
+        var output w : [3 3]
+        var t : [3 4 4 3]
+        t = u # v
+        w = t . [[2 3]]
+        """,
+        lambda rng: {"u": rng.uniform(-1, 1, (3, 4)),
+                     "v": rng.uniform(-1, 1, (4, 3))},
+    ),
+]
+
+
+def _compile_ekl_raw(source):
+    kernel = parse_kernel(source)
+    module = lower_teil_to_affine(
+        lower_esn_to_teil(
+            lower_ekl_to_esn(lower_kernel_to_ekl(kernel), canonicalize=False),
+            canonicalize=False,
+        ),
+        canonicalize=False,
+    )
+    verify(module)
+    return kernel, module
+
+
+def _compile_cfd_raw(source, name):
+    program = parse_program(source)
+    module = lower_teil_to_affine(
+        lower_cfdlang_to_teil(
+            lower_program_to_cfdlang(program, name), canonicalize=False
+        ),
+        canonicalize=False,
+    )
+    verify(module)
+    return program, module
+
+
+def _assert_same_outputs(before, after):
+    assert set(before) == set(after)
+    for key in before:
+        np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestEKLDifferential:
+    @pytest.mark.parametrize("name,source,make_inputs",
+                             EKL_SAMPLES, ids=[s[0] for s in EKL_SAMPLES])
+    def test_canonicalize_preserves_results(self, name, source, make_inputs):
+        rng = np.random.default_rng(3)
+        inputs = make_inputs(rng)
+        kernel, module = _compile_ekl_raw(source)
+        baseline = run_affine(module, kernel.name, inputs)
+
+        optimized = module.clone()
+        CanonicalizePass().run(optimized)
+        verify(optimized)
+
+        _assert_same_outputs(baseline,
+                             run_affine(optimized, kernel.name, inputs))
+
+    @pytest.mark.parametrize("name,source,make_inputs",
+                             EKL_SAMPLES, ids=[s[0] for s in EKL_SAMPLES])
+    def test_canonical_chain_matches_raw_chain(self, name, source,
+                                               make_inputs):
+        """The production chain (canonicalizing at every lowering step)
+        produces a smaller module with identical numerics."""
+        rng = np.random.default_rng(11)
+        inputs = make_inputs(rng)
+        kernel, raw = _compile_ekl_raw(source)
+        canonical = lower_teil_to_affine(
+            lower_esn_to_teil(lower_ekl_to_esn(lower_kernel_to_ekl(kernel)))
+        )
+        verify(canonical)
+        assert sum(1 for _ in canonical.walk()) < sum(1 for _ in raw.walk())
+        _assert_same_outputs(run_affine(raw, kernel.name, inputs),
+                             run_affine(canonical, kernel.name, inputs))
+
+    @pytest.mark.parametrize("name,source,make_inputs",
+                             EKL_SAMPLES, ids=[s[0] for s in EKL_SAMPLES])
+    def test_optimized_matches_language_semantics(self, name, source,
+                                                  make_inputs):
+        rng = np.random.default_rng(5)
+        inputs = make_inputs(rng)
+        kernel, module = _compile_ekl_raw(source)
+        optimized = module.clone()
+        CanonicalizePass().run(optimized)
+        expected = Interpreter(kernel).run(inputs)
+        got = run_affine(optimized, kernel.name, inputs)
+        assert set(got) == set(expected)
+        for key in expected:
+            np.testing.assert_allclose(got[key], expected[key],
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_canonicalize_is_idempotent(self):
+        _, module = _compile_ekl_raw(EKL_SAMPLES[0][1])
+        CanonicalizePass().run(module)
+        once = print_module(module)
+        CanonicalizePass().run(module)
+        assert print_module(module) == once
+
+
+class TestCFDlangDifferential:
+    @pytest.mark.parametrize("name,source,make_inputs",
+                             CFD_SAMPLES, ids=[s[0] for s in CFD_SAMPLES])
+    def test_canonicalize_preserves_results(self, name, source, make_inputs):
+        rng = np.random.default_rng(7)
+        inputs = make_inputs(rng)
+        program, module = _compile_cfd_raw(source, name)
+        baseline = run_affine(module, name, inputs)
+
+        optimized = module.clone()
+        CanonicalizePass().run(optimized)
+        verify(optimized)
+
+        _assert_same_outputs(baseline, run_affine(optimized, name, inputs))
+
+    @pytest.mark.parametrize("name,source,make_inputs",
+                             CFD_SAMPLES, ids=[s[0] for s in CFD_SAMPLES])
+    def test_optimized_matches_reference_interpreter(self, name, source,
+                                                     make_inputs):
+        rng = np.random.default_rng(9)
+        inputs = make_inputs(rng)
+        program, module = _compile_cfd_raw(source, name)
+        optimized = module.clone()
+        CanonicalizePass().run(optimized)
+        expected = run_program(program, inputs)
+        got = run_affine(optimized, name, inputs)
+        # The compiled function also returns intermediate assignments; the
+        # reference interpreter only returns declared outputs.
+        assert set(expected) <= set(got)
+        for key in expected:
+            np.testing.assert_allclose(got[key], expected[key],
+                                       rtol=1e-12, atol=1e-12)

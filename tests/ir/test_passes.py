@@ -127,3 +127,44 @@ class TestRewriteDriver:
     def test_no_match_returns_false(self):
         m = Module()
         assert apply_patterns(m, [_FoldDoubleNeg()]) is False
+
+    def test_skips_ops_nested_in_erased_ancestor(self):
+        """Regression: erasing a region op mid-sweep must not offer its
+        (detached, operand-stripped) nested ops to later patterns.
+
+        The old guard only checked ``op.parent is None``, which holds for
+        the erased op itself but not for ops inside its regions — those
+        keep their block pointers while ``drop_all_references`` empties
+        their operand lists, so a pattern touching ``op.operands[0]``
+        blew up with an IndexError.
+        """
+        from repro.ir.core import Block, Operation, Region
+
+        m = Module()
+        b = Builder.at_end(m.body)
+        inner_block = Block()
+        ib = Builder.at_end(inner_block)
+        c = ib.create("arith.constant", [], [T.f64], {"value": 1.0})
+        ib.create("test.inner", [c.result], [])
+        b.insert(Operation.create("test.wrapper", [], [], {},
+                                  [Region([inner_block])]))
+
+        seen_inner = []
+
+        class EraseWrapper(RewritePattern):
+            op_name = "test.wrapper"
+
+            def match_and_rewrite(self, op, rewriter):
+                rewriter.erase_op(op)
+                return True
+
+        class TouchInner(RewritePattern):
+            op_name = "test.inner"
+
+            def match_and_rewrite(self, op, rewriter):
+                seen_inner.append(op.operands[0])  # IndexError if detached
+                return False
+
+        assert apply_patterns(m, [EraseWrapper(), TouchInner()])
+        assert seen_inner == []  # the nested op was never offered
+        assert len(m.body) == 0

@@ -1,0 +1,135 @@
+"""Tests for the symbol table and the function inliner."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    CanonicalizePass,
+    InlinePass,
+    Module,
+    SymbolTable,
+    build_func,
+    types as T,
+    verify,
+)
+
+
+def _module_with_double():
+    m = Module()
+    callee, centry, cb = build_func(m, "double", [T.f64], [T.f64])
+    d = cb.create("arith.addf", [centry.args[0], centry.args[0]],
+                  [T.f64]).result
+    cb.create("func.return", [d])
+    return m
+
+
+class TestSymbolTable:
+    def test_lookup(self):
+        m = _module_with_double()
+        table = SymbolTable(m)
+        assert table.lookup("double").name == "func.func"
+        assert table.lookup("missing") is None
+        assert "double" in table and len(table) == 1
+
+    def test_insert_renames_on_clash(self):
+        m = _module_with_double()
+        table = SymbolTable(m)
+        other = Module()
+        func, _, fb = build_func(other, "double", [], [])
+        fb.create("func.return", [])
+        func.parent.operations.remove(func)
+        func.parent = None
+        inserted = table.insert(func)
+        assert inserted.attr("sym_name") == "double_0"
+        assert table.lookup("double_0") is inserted
+        assert sorted(table) == ["double", "double_0"]
+
+    def test_duplicate_symbols_rejected(self):
+        m = _module_with_double()
+        callee, _, cb = build_func(m, "double", [], [])
+        cb.create("func.return", [])
+        with pytest.raises(IRError):
+            SymbolTable(m)
+
+
+class TestInlinePass:
+    def test_inlines_simple_call(self):
+        m = _module_with_double()
+        caller, entry, fb = build_func(m, "main", [T.f64], [T.f64])
+        r = fb.create("func.call", [entry.args[0]], [T.f64],
+                      {"callee": "double"}).result
+        fb.create("func.return", [r])
+        inliner = InlinePass()
+        inliner.run(m)
+        verify(m)
+        assert inliner.inlined == 1
+        main_ops = [op.name for op in m.lookup("main").regions[0].entry]
+        assert "func.call" not in main_ops
+        assert "arith.addf" in main_ops
+
+    def test_inlines_transitive_calls(self):
+        m = _module_with_double()
+        mid, mentry, mb = build_func(m, "quad", [T.f64], [T.f64])
+        h = mb.create("func.call", [mentry.args[0]], [T.f64],
+                      {"callee": "double"}).result
+        h2 = mb.create("func.call", [h], [T.f64],
+                       {"callee": "double"}).result
+        mb.create("func.return", [h2])
+        caller, entry, fb = build_func(m, "main", [T.f64], [T.f64])
+        r = fb.create("func.call", [entry.args[0]], [T.f64],
+                      {"callee": "quad"}).result
+        fb.create("func.return", [r])
+        InlinePass().run(m)
+        verify(m)
+        for name in ("quad", "main"):
+            ops = [op.name for op in m.lookup(name).regions[0].entry]
+            assert "func.call" not in ops
+        assert [op.name for op in m.lookup("main").regions[0].entry].count(
+            "arith.addf") == 2
+
+    def test_unknown_callee_left_alone(self):
+        m = Module()
+        caller, entry, fb = build_func(m, "main", [T.f64], [T.f64])
+        r = fb.create("func.call", [entry.args[0]], [T.f64],
+                      {"callee": "nowhere"}).result
+        fb.create("func.return", [r])
+        inliner = InlinePass()
+        inliner.run(m)
+        assert inliner.inlined == 0
+        ops = [op.name for op in m.lookup("main").regions[0].entry]
+        assert "func.call" in ops
+
+    def test_recursive_call_terminates(self):
+        m = Module()
+        rec, rentry, rb = build_func(m, "rec", [T.f64], [T.f64])
+        r = rb.create("func.call", [rentry.args[0]], [T.f64],
+                      {"callee": "rec"}).result
+        rb.create("func.return", [r])
+        inliner = InlinePass(max_depth=4)
+        inliner.run(m)  # must not loop forever
+        verify(m)
+        assert inliner.inlined == 4
+
+    def test_arity_mismatch_raises(self):
+        m = _module_with_double()
+        caller, entry, fb = build_func(m, "main", [T.f64], [T.f64])
+        r = fb.create("func.call", [entry.args[0], entry.args[0]], [T.f64],
+                      {"callee": "double"}).result
+        fb.create("func.return", [r])
+        with pytest.raises(IRError):
+            InlinePass().run(m)
+
+    def test_inline_then_canonicalize_folds_through(self):
+        """O2 behaviour: constants propagate through inlined bodies."""
+        m = _module_with_double()
+        caller, entry, fb = build_func(m, "main", [], [T.f64])
+        c = fb.create("arith.constant", [], [T.f64], {"value": 21.0}).result
+        r = fb.create("func.call", [c], [T.f64], {"callee": "double"}).result
+        fb.create("func.return", [r])
+        InlinePass().run(m)
+        CanonicalizePass().run(m)
+        verify(m)
+        main_ops = list(m.lookup("main").regions[0].entry)
+        assert [op.name for op in main_ops] == ["arith.constant",
+                                                "func.return"]
+        assert main_ops[0].attr("value") == 42.0

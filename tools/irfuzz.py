@@ -1,0 +1,233 @@
+"""Generative IR fuzzing: seeded random well-typed modules.
+
+``generate_module(seed)`` builds a random — but structurally valid —
+module: a mix of unregistered ``fuzz.*`` ops (arbitrary arity/attributes),
+well-typed registered ops (``arith``/``math``), nested regions
+(``affine.for`` loops with their terminators, generic ``fuzz.region`` ops
+with block arguments, occasionally multi-block) and the full attribute
+menu (ints with widths, special floats, escaped strings, booleans, unit,
+arrays, dicts, type refs, symbol refs, dense tensors).
+
+Each module must satisfy two properties, checked by
+:func:`check_roundtrip` and by ``tests/ir/test_roundtrip_fuzz.py``:
+
+* ``verify()`` passes (structure and registered-op constraints hold);
+* print -> parse -> print is a *fixpoint* of the textual form.
+
+Run standalone for a longer campaign::
+
+    python tools/irfuzz.py --count 500 [--start 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List
+
+import numpy as np
+
+import repro.dialects  # noqa: F401 (registration side effect)
+from repro.ir import Builder, DenseAttr, Module, parse_module, print_module, verify
+from repro.ir import types as T
+from repro.ir.core import Block, Operation, Region, Value
+
+_SCALARS = [T.i1, T.i8, T.i32, T.i64, T.f16, T.bf16, T.f32, T.f64, T.index,
+            T.IntegerType(32, signed=False)]
+_ELEMENTS = [T.f64, T.f32, T.i64, T.i32]
+_SPECIAL_FLOATS = [float("inf"), float("-inf"), 0.0, -0.0, 1e-300, 1e300]
+_STRINGS = ["", "plain", 'quo"te', "back\\slash", "tab\tand\nnewline",
+            "space  s", "ünïcode", "@sym-ish"]
+
+
+def _random_type(rng: random.Random, depth: int = 0) -> T.Type:
+    # Function types may nest one level (a function-typed result found a
+    # real printer ambiguity; keep generating that shape).
+    kind = rng.randrange(8 if depth <= 1 else 6)
+    if kind < 3:
+        return rng.choice(_SCALARS)
+    if kind == 3:
+        shape = tuple(rng.choice([None, rng.randrange(1, 9)])
+                      for _ in range(rng.randrange(0, 4)))
+        return T.TensorType(shape, rng.choice(_ELEMENTS))
+    if kind == 4:
+        shape = tuple(rng.randrange(1, 9) for _ in range(rng.randrange(1, 3)))
+        space = rng.choice(["", "hbm0", "plm", "host"])
+        return T.MemRefType(shape, rng.choice(_ELEMENTS), space)
+    if kind == 5:
+        return rng.choice([
+            T.FixedPointType(rng.randrange(0, 9), rng.randrange(1, 9),
+                             rng.choice([True, False])),
+            T.PositType(rng.randrange(2, 33), rng.randrange(0, 4)),
+            T.StreamType(rng.choice(_ELEMENTS)),
+        ])
+    if kind == 6:
+        inputs = tuple(_random_type(rng, depth + 1)
+                       for _ in range(rng.randrange(0, 3)))
+        results = tuple(_random_type(rng, depth + 1)
+                        for _ in range(rng.randrange(0, 3)))
+        return T.FunctionType(inputs, results)
+    return T.NoneOpType()
+
+
+def _random_attr(rng: random.Random, depth: int = 0):
+    kind = rng.randrange(9 if depth == 0 else 7)
+    if kind == 0:
+        return rng.randrange(-1000, 1000)
+    if kind == 1:
+        value = rng.choice(_SPECIAL_FLOATS + [rng.uniform(-1e6, 1e6)])
+        return value
+    if kind == 2:
+        return rng.choice([True, False])
+    if kind == 3:
+        return rng.choice(_STRINGS)
+    if kind == 4:
+        return _random_type(rng)
+    if kind == 5:
+        from repro.ir import SymbolRefAttr, UnitAttr
+
+        return rng.choice([UnitAttr(), SymbolRefAttr("some_symbol")])
+    if kind == 6:
+        shape = tuple(rng.randrange(1, 4) for _ in range(rng.randrange(0, 3)))
+        element = rng.choice([T.f64, T.i64])
+        dtype = np.float64 if element is T.f64 else np.int64
+        count = int(np.prod(shape)) if shape else 1
+        data = np.array(
+            [rng.randrange(-9, 9) for _ in range(count)], dtype=dtype
+        ).reshape(shape)
+        return DenseAttr(data, T.TensorType(shape, element))
+    if kind == 7:
+        return [_random_attr(rng, depth + 1)
+                for _ in range(rng.randrange(0, 4))]
+    return {f"k{i}": _random_attr(rng, depth + 1)
+            for i in range(rng.randrange(0, 3))}
+
+
+def _random_attrs(rng: random.Random) -> dict:
+    return {f"a{i}": _random_attr(rng) for i in range(rng.randrange(0, 3))}
+
+
+def _pick_operands(rng: random.Random, values: List[Value]) -> List[Value]:
+    if not values:
+        return []
+    return [rng.choice(values) for _ in range(rng.randrange(0, 3))]
+
+
+def _emit_ops(rng: random.Random, builder: Builder, values: List[Value],
+              budget: int, depth: int) -> None:
+    """Emit up to ``budget`` random ops at the builder's insertion point."""
+    while budget > 0:
+        budget -= 1
+        choice = rng.randrange(10)
+        if choice < 5:
+            # A generic fuzz op: any operands, results and attributes.
+            result_types = [_random_type(rng)
+                            for _ in range(rng.randrange(0, 3))]
+            op = builder.create(f"fuzz.op{rng.randrange(8)}",
+                                _pick_operands(rng, values), result_types,
+                                _random_attrs(rng))
+            values.extend(op.results)
+        elif choice == 5:
+            # Well-typed registered arithmetic on fresh constants.
+            const = builder.create("arith.constant", [], [T.f64],
+                                   {"value": rng.uniform(-10, 10)})
+            values.append(const.result)
+            if rng.random() < 0.7:
+                name = rng.choice(["arith.addf", "arith.subf", "arith.mulf"])
+                floats = [v for v in values if v.type == T.f64]
+                lhs = rng.choice(floats)
+                op = builder.create(name, [lhs, const.result], [T.f64])
+                values.append(op.result)
+        elif choice == 6:
+            floats = [v for v in values if v.type == T.f64]
+            if floats:
+                name = rng.choice(["math.sqrt", "math.exp", "math.tanh"])
+                op = builder.create(name, [rng.choice(floats)], [T.f64])
+                values.append(op.result)
+        elif choice == 7 and depth < 2:
+            # A counted loop with a nested body (IV is a block argument).
+            body = Block([T.index])
+            builder.create(
+                "affine.for", [], [],
+                {"lower": 0, "upper": rng.randrange(1, 16), "step": 1},
+                [Region([body])],
+            )
+            inner_values = values + list(body.args)
+            inner = Builder.at_end(body)
+            _emit_ops(rng, inner, inner_values, rng.randrange(1, 4),
+                      depth + 1)
+            inner.create("affine.yield", [], [])
+        elif choice == 8 and depth < 2:
+            # A generic region op, sometimes with two blocks.
+            blocks = [Block([_random_type(rng)
+                             for _ in range(rng.randrange(0, 3))])]
+            if rng.random() < 0.3:
+                blocks.append(Block([_random_type(rng)]))
+            op = Operation.create(f"fuzz.region{rng.randrange(3)}",
+                                  _pick_operands(rng, values),
+                                  [_random_type(rng)
+                                   for _ in range(rng.randrange(0, 2))],
+                                  _random_attrs(rng), [Region(blocks)])
+            builder.insert(op)
+            for block in blocks:
+                # The op's own results are NOT visible inside its region.
+                inner_values = values + list(block.args)
+                _emit_ops(rng, Builder.at_end(block), inner_values,
+                          rng.randrange(0, 3), depth + 1)
+            values.extend(op.results)
+        else:
+            # Multi-result op, exercising the %N:2 / %N#i syntax.
+            op = builder.create(f"fuzz.pair{rng.randrange(3)}",
+                                _pick_operands(rng, values),
+                                [_random_type(rng), _random_type(rng)])
+            values.extend(op.results)
+
+
+def generate_module(seed: int) -> Module:
+    """Build a random, structurally valid module from ``seed``."""
+    rng = random.Random(seed)
+    module = Module(f"fuzz_{seed}" if rng.random() < 0.5 else "")
+    builder = Builder.at_end(module.body)
+    values: List[Value] = []
+    _emit_ops(rng, builder, values, rng.randrange(4, 24), 0)
+    return module
+
+
+def check_roundtrip(seed: int) -> None:
+    """Assert the two fuzz properties for one seed; raises on violation."""
+    module = generate_module(seed)
+    verify(module)
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify(reparsed)
+    again = print_module(reparsed)
+    if again != text:
+        raise AssertionError(
+            f"seed {seed}: print->parse->print is not a fixpoint\n"
+            f"--- first ---\n{text}\n--- second ---\n{again}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="roundtrip-fuzz the IR printer/parser/verifier")
+    parser.add_argument("--count", type=int, default=200,
+                        help="number of seeds to run")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first seed")
+    args = parser.parse_args(argv)
+    failures = 0
+    for seed in range(args.start, args.start + args.count):
+        try:
+            check_roundtrip(seed)
+        except Exception as error:  # pragma: no cover - campaign reporting
+            failures += 1
+            print(f"seed {seed}: FAIL: {error}", file=sys.stderr)
+    print(f"irfuzz: {args.count - failures}/{args.count} seeds ok "
+          f"(seeds {args.start}..{args.start + args.count - 1})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
