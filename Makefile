@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-runtime bench-ir fuzz-smoke coverage \
-	docs-check examples lint all
+.PHONY: test bench-smoke bench-runtime bench-ir bench-exec fuzz-smoke \
+	coverage docs-check examples lint all
 
 all: test docs-check
 
@@ -10,6 +10,7 @@ test: lint
 	$(PYTHON) -m pytest -x -q tests
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-ir
+	$(MAKE) bench-exec
 
 # bench_*.py does not match pytest's default file glob; list explicitly.
 bench-smoke:
@@ -30,10 +31,20 @@ bench-ir:
 		benchmarks/bench_ir_canonicalize.py
 	@echo "results recorded in BENCH_ir_canonicalize.json"
 
-# A quick roundtrip-fuzz campaign (the full 200-seed run is in tier-1
-# tests; `python tools/irfuzz.py --count N` goes deeper).
+# Compiled affine executor vs. the interpreter on the Fig. 3 kernel:
+# bit-identical results, >= 50x faster; records the measurement (and the
+# HLS FLOP cross-check) in BENCH_affine_exec.json.
+bench-exec:
+	$(PYTHON) -m pytest -x -q --benchmark-disable \
+		benchmarks/bench_affine_exec.py
+	@echo "results recorded in BENCH_affine_exec.json"
+
+# A quick fuzz campaign in both modes (the full 200-seed runs are in
+# tier-1 tests; `python tools/irfuzz.py --count N [--mode exec]` goes
+# deeper).
 fuzz-smoke:
 	$(PYTHON) tools/irfuzz.py --count 20
+	$(PYTHON) tools/irfuzz.py --mode exec --count 20
 
 # Line coverage over the package; tolerates a container without
 # pytest-cov (prints a hint), but a real test failure still fails the

@@ -35,3 +35,22 @@ def test_fig5_full_cascade(benchmark, rrtmg_affine):
     fsm, hw = benchmark(cascade)
     assert any(op.name == "fsm.machine" for op in fsm.body)
     assert any(op.name == "hw.module" for op in hw.body)
+
+
+def test_fig5_affine_to_executor(benchmark, rrtmg_affine, rrtmg_inputs):
+    """The CPU-executor edge out of the affine dialect: codegen + compile
+    of the Fig. 3 module (cache disabled so the benchmark measures a cold
+    compile), bit-identical to the interpreter."""
+    from repro.tensorpipe.affine_interp import run_affine
+    from repro.tensorpipe.codegen import compile_affine
+
+    kernel, module = rrtmg_affine
+    compiled = benchmark(
+        lambda: compile_affine(module, kernel.name, cache=False))
+    assert compiled.backend == "compiled"
+    import numpy as np
+
+    expected = run_affine(module, kernel.name, rrtmg_inputs)
+    got = compiled.run(rrtmg_inputs)
+    for name in expected:
+        np.testing.assert_array_equal(got[name], expected[name])

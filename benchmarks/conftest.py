@@ -1,6 +1,5 @@
 """Benchmark configuration: register dialects, share compiled artifacts."""
 
-import numpy as np
 import pytest
 
 import repro.dialects  # noqa: F401 (registration side effect)
@@ -18,16 +17,7 @@ def rrtmg_affine():
 
 @pytest.fixture(scope="session")
 def rrtmg_inputs():
-    rng = np.random.default_rng(42)
-    return dict(
-        press=rng.uniform(0.1, 1.0, 16),
-        strato=np.asarray(0.4),
-        bnd=np.asarray(3),
-        bnd_to_flav=rng.integers(0, 14, (2, 14)),
-        j_T=rng.integers(0, 7, 16),
-        j_p=rng.integers(0, 6, 16),
-        j_eta=rng.integers(0, 3, (14, 16, 2)),
-        r_mix=rng.uniform(0.5, 1.5, (14, 16, 2)),
-        f_major=rng.uniform(0.0, 1.0, (14, 16, 2, 2, 2)),
-        k_major=rng.uniform(0.0, 2.0, (8, 8, 4, 16)),
-    )
+    """Fig. 3 kernel inputs (single shared source with tests/conftest)."""
+    from repro.apps.wrf.rrtmg import sample_inputs
+
+    return sample_inputs()

@@ -109,12 +109,14 @@ class TravelTimeDistribution:
 
 def ptdr_montecarlo(models: Sequence[SegmentSpeedModel],
                     departure_s: float, samples: int = 1000,
-                    seed: int = 0) -> TravelTimeDistribution:
+                    seed=0) -> TravelTimeDistribution:
     """Monte-Carlo traversal: all samples advance segment by segment.
 
     Vectorized over samples: at each segment every sample draws a speed at
     its *own* current clock — the time dependency that distinguishes PTDR
-    from a convolution of static distributions.
+    from a convolution of static distributions.  ``seed`` is anything
+    :func:`numpy.random.default_rng` accepts (an int or a
+    :class:`numpy.random.SeedSequence`).
     """
     if not models:
         raise EverestError("empty route")
@@ -129,10 +131,21 @@ def ptdr_montecarlo(models: Sequence[SegmentSpeedModel],
 def departure_profile(models: Sequence[SegmentSpeedModel],
                       departures_s: Sequence[float], samples: int = 500,
                       seed: int = 0) -> Dict[float, TravelTimeDistribution]:
-    """PTDR swept over departure times (the paper's routing product)."""
+    """PTDR swept over departure times (the paper's routing product).
+
+    Each departure gets an independent stream derived from
+    ``SeedSequence((seed, bits(departure)))``.  The old ``seed +
+    int(departure)`` derivation collided: sub-second departures truncated
+    to the same stream, and ``(seed=0, dep=900)`` reused ``(seed=900,
+    dep=0)``'s draws, correlating sweeps that must be independent.
+    """
+    def stream(departure: float) -> np.random.SeedSequence:
+        departure_bits = int(np.float64(departure).view(np.uint64))
+        return np.random.SeedSequence((seed, departure_bits))
+
     return {
         departure: ptdr_montecarlo(models, departure, samples,
-                                   seed + int(departure))
+                                   stream(departure))
         for departure in departures_s
     }
 

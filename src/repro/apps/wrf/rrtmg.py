@@ -89,6 +89,28 @@ def prepare_inputs(state: AtmosphereState, band: int,
     }
 
 
+def sample_inputs(seed: int = 42) -> Dict[str, np.ndarray]:
+    """Random-but-fixed Fig. 3 kernel inputs for tests and benchmarks.
+
+    The single source of the shapes/ranges both suites validate against
+    (the ``rrtmg_inputs`` fixtures in ``tests/`` and ``benchmarks/``
+    both delegate here, so they can never drift apart).
+    """
+    rng = np.random.default_rng(seed)
+    return dict(
+        press=rng.uniform(0.1, 1.0, 16),
+        strato=np.asarray(0.4),
+        bnd=np.asarray(3),
+        bnd_to_flav=rng.integers(0, 14, (2, 14)),
+        j_T=rng.integers(0, 7, 16),
+        j_p=rng.integers(0, 6, 16),
+        j_eta=rng.integers(0, 3, (14, 16, 2)),
+        r_mix=rng.uniform(0.5, 1.5, (14, 16, 2)),
+        f_major=rng.uniform(0.0, 1.0, (14, 16, 2, 2, 2)),
+        k_major=rng.uniform(0.0, 2.0, (8, 8, 4, 16)),
+    )
+
+
 def tau_major_reference(inputs: Dict[str, np.ndarray]) -> np.ndarray:
     """Plain-loop reference of the Fig. 3 computation (the Fortran role)."""
     press = inputs["press"]

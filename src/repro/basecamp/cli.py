@@ -9,6 +9,9 @@ Subcommands mirror the SDK's phases (paper §IV):
   architecture generation with DSE;
 * ``basecamp pipeline <kernel.ekl>`` — the full Fig. 2 flow with the
   per-stage timing/caching report;
+* ``basecamp run <kernel.ekl> --random-seed 0 --time`` — compile to the
+  vectorized-numpy CPU executor and run it (optionally racing the
+  reference interpreter);
 * ``basecamp dialects`` — the registered dialect graph (Fig. 5);
 * ``basecamp condrust <program.rs>`` — parse/check/lower a coordination
   program;
@@ -99,6 +102,93 @@ def cmd_pipeline(args) -> int:
           f"{len(schedule.placements)} task(s), "
           f"makespan {schedule.makespan * 1e6:.2f} us")
     print(session.report.summary())
+    return 0
+
+
+def _gather_run_inputs(module, func_name: str, args):
+    """Build the input dict for ``basecamp run`` from --input/--random-seed.
+
+    ``--input name=file.npy`` loads arrays; with ``--random-seed`` every
+    remaining float input is drawn uniform [0, 1) and every integer input
+    is zero-filled (always in-range for gather tables).
+    """
+    import numpy as np
+
+    from repro.ir import types as T
+
+    func = module.lookup(func_name)
+    entry = func.regions[0].entry
+    arg_names = func.attr("arg_names")
+    num_outputs = func.attr("num_outputs") or 0
+    explicit = {}
+    for spec in args.input or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise EverestError(f"--input wants NAME=FILE.npy, got {spec!r}")
+        explicit[name] = np.load(path)
+    rng = np.random.default_rng(args.random_seed) \
+        if args.random_seed is not None else None
+    inputs = {}
+    for i, arg in enumerate(entry.args[:len(entry.args) - num_outputs]):
+        name = arg_names[i]
+        ref = arg.type
+        if name in explicit:
+            inputs[name] = explicit.pop(name)
+            continue
+        if rng is None:
+            raise EverestError(
+                f"missing input {name!r} (pass --input {name}=file.npy "
+                "or --random-seed N)")
+        shape = tuple(ref.shape)
+        if isinstance(ref.element, T.FloatType):
+            inputs[name] = rng.uniform(0.0, 1.0, shape)
+        else:
+            inputs[name] = np.zeros(shape, dtype=np.int64)
+    if explicit:
+        raise EverestError(
+            "unknown --input name(s): " + ", ".join(sorted(explicit)))
+    return inputs
+
+
+def cmd_run(args) -> int:
+    import numpy as np
+
+    session = _session()
+    lowered = session.lower(_read_source(args.source),
+                            opt_level=args.opt_level)
+    inputs = _gather_run_inputs(lowered.module, lowered.kernel.name, args)
+    result = session.execute(lowered.source, inputs, backend=args.backend,
+                             opt_level=args.opt_level)
+    kernel = result.kernel
+    print(f"kernel {kernel.func_name}: backend={kernel.backend} "
+          f"({kernel.vectorized_nests} vectorized / "
+          f"{kernel.scalar_nests} scalar nest(s), {kernel.flops} flops)")
+    for name, value in result.outputs.items():
+        value = np.asarray(value)
+        flat = np.array2string(value.ravel()[:6], precision=6,
+                               separator=", ")
+        suffix = " ..." if value.size > 6 else ""
+        print(f"  {name}: shape={tuple(value.shape)} dtype={value.dtype} "
+              f"mean={value.mean():.6g}")
+        print(f"    {flat}{suffix}")
+    if args.time:
+        reference = session.execute(lowered.source, inputs,
+                                    backend="interpreter",
+                                    opt_level=args.opt_level)
+        for name, value in result.outputs.items():
+            got = np.asarray(value)
+            ref = np.asarray(reference.outputs[name])
+            # Bit-identical NaNs count as agreement (equal_nan trips on
+            # integer dtypes, so only request it for floats).
+            equal_nan = bool(np.issubdtype(got.dtype, np.floating))
+            if not np.array_equal(got, ref, equal_nan=equal_nan):
+                raise EverestError(
+                    f"executor backends disagree on output {name!r}")
+        speedup = reference.seconds / result.seconds \
+            if result.seconds else float("inf")
+        print(f"  run time: {result.seconds * 1e3:.3f} ms "
+              f"({args.backend}) vs {reference.seconds * 1e3:.3f} ms "
+              f"(interpreter): {speedup:.1f}x")
     return 0
 
 
@@ -244,6 +334,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="0: raw lowering, 1: canonicalize (fold/DCE/CSE), "
                         "2: canonicalize + inline")
     p.set_defaults(fn=cmd_pipeline)
+
+    p = sub.add_parser("run",
+                       help="compile and execute a kernel on the CPU "
+                            "(vectorized numpy backend)")
+    p.add_argument("source")
+    p.add_argument("--input", action="append", default=[],
+                   metavar="NAME=FILE.npy",
+                   help="bind one kernel input to a .npy file "
+                        "(repeatable)")
+    p.add_argument("--random-seed", type=int, default=None,
+                   help="fill unbound inputs: floats uniform [0,1), "
+                        "integers zero")
+    p.add_argument("--backend", choices=["compiled", "interpreter"],
+                   default="compiled")
+    p.add_argument("--opt-level", type=int, choices=[0, 1, 2], default=1,
+                   help="0: raw lowering, 1: canonicalize (fold/DCE/CSE), "
+                        "2: canonicalize + inline")
+    p.add_argument("--time", action="store_true",
+                   help="also run the interpreter backend, check the "
+                        "outputs match and print the speedup")
+    p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("dialects", help="the Fig. 5 dialect graph")
     p.set_defaults(fn=cmd_dialects)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import IRError
 from repro.ir.canonicalize import constant_value
 from repro.ir.core import Operation
@@ -159,18 +161,38 @@ def _make_math_fold(py):
     return fold
 
 
+def _np_scalar_fold(ufunc):
+    """A fold callable with numpy's scalar-ufunc semantics.
+
+    The affine interpreter and the compiled executor both evaluate these
+    ops through numpy ufuncs (bit-identical between the scalar and array
+    paths), so compile-time folds must use the same routine — ``max`` and
+    ``math.pow`` disagree with numpy on NaN, signed zeros and last-ulp
+    rounding.  Declines the fold (ValueError) on non-finite results from
+    finite operands, e.g. ``pow(-2.0, 0.5)``.
+    """
+
+    def fold(a, b):
+        with np.errstate(all="ignore"):
+            result = float(ufunc(np.float64(a), np.float64(b)))
+        if not math.isfinite(result) and \
+                math.isfinite(a) and math.isfinite(b):
+            raise ValueError(f"{ufunc.__name__}({a}, {b}) is non-finite")
+        return result
+
+    return fold
+
+
 # Matches the affine interpreter's scalar semantics (affine_interp._BINOPS).
 _FLOAT_FOLDS = {
     "addf": _make_binary_fold(lambda a, b: a + b, left_id=0.0, right_id=0.0),
     "subf": _make_binary_fold(lambda a, b: a - b, right_id=0.0),
     "mulf": _make_binary_fold(lambda a, b: a * b, left_id=1.0, right_id=1.0),
     "divf": _make_binary_fold(lambda a, b: a / b, right_id=1.0),
-    "maximumf": _make_binary_fold(max),
-    "minimumf": _make_binary_fold(min),
+    "maximumf": _make_binary_fold(_np_scalar_fold(np.maximum)),
+    "minimumf": _make_binary_fold(_np_scalar_fold(np.minimum)),
     "remf": _make_binary_fold(math.fmod),
-    # math.pow, not ``**``: a negative base with a fractional exponent must
-    # raise ValueError (caught -> no fold), not return a complex number.
-    "powf": _make_binary_fold(math.pow),
+    "powf": _make_binary_fold(_np_scalar_fold(np.power)),
 }
 
 _INT_FOLDS = {
@@ -193,12 +215,28 @@ _INT_FOLDS = {
     "minsi": _make_binary_fold(min),
 }
 
+def _np_unary_fold(ufunc):
+    """Unary counterpart of :func:`_np_scalar_fold` (same rationale)."""
+
+    def fold(a):
+        with np.errstate(all="ignore"):
+            result = float(ufunc(np.float64(a)))
+        if not math.isfinite(result) and math.isfinite(a):
+            raise ValueError(f"{ufunc.__name__}({a}) is non-finite")
+        return result
+
+    return fold
+
+
 # Matches affine_interp._MATH so compile-time folds are bit-identical to
 # the interpreted result.
 _MATH_FOLDS = {
-    "exp": _make_math_fold(math.exp), "log": _make_math_fold(math.log),
-    "sqrt": _make_math_fold(math.sqrt), "sin": _make_math_fold(math.sin),
-    "cos": _make_math_fold(math.cos), "tanh": _make_math_fold(math.tanh),
+    "exp": _make_math_fold(_np_unary_fold(np.exp)),
+    "log": _make_math_fold(_np_unary_fold(np.log)),
+    "sqrt": _make_math_fold(_np_unary_fold(np.sqrt)),
+    "sin": _make_math_fold(_np_unary_fold(np.sin)),
+    "cos": _make_math_fold(_np_unary_fold(np.cos)),
+    "tanh": _make_math_fold(_np_unary_fold(np.tanh)),
     "atan2": _make_math_fold(math.atan2), "erf": _make_math_fold(math.erf),
     "abs": _make_math_fold(abs),
 }

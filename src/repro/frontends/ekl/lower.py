@@ -412,11 +412,26 @@ def _convert_ekl_op(op: Operation, builder: Builder,
     raise LoweringError(f"cannot convert {op.name} to esn")
 
 
+def _axes_of(producer: Operation) -> Optional[List[str]]:
+    """The axis *labels* of an op's result.
+
+    ``esn.reduce`` keeps its reduction positions (ints) in ``axes`` and
+    the surviving output labels in ``out_axes`` — consumers of the result
+    must read the latter or they would treat positions as labels (this
+    miscompiled every kernel that reuses a ``sum[...]`` result in a later
+    broadcasting expression; found by the executor fuzzer).
+    """
+    out_axes = producer.attr("out_axes")
+    if out_axes is not None:
+        return out_axes
+    return producer.attr("axes")
+
+
 def _producer_axes(value: Value) -> List[str]:
     producer = value.owner_op()
     if producer is None:
         raise LoweringError("esn conversion: value has no producer")
-    return producer.attr("axes") or []
+    return _axes_of(producer) or []
 
 
 def _broadcast_to(builder: Builder, value: Value, user: Operation,
@@ -425,7 +440,7 @@ def _broadcast_to(builder: Builder, value: Value, user: Operation,
     source_axes = None
     producer = value.owner_op()
     if producer is not None:
-        source_axes = producer.attr("axes")
+        source_axes = _axes_of(producer)
     if source_axes == list(target_axes):
         return value
     result_elem = value.type.element if isinstance(value.type, T.TensorType) \

@@ -34,6 +34,16 @@ from repro.numerics.posit import PositFormat
 
 _LOOP_OVERHEAD = 2  # cycles to enter/flush one pipelined nest
 
+# Ops that count as one FLOP per trip.  Kept in sync with the compiled
+# executor's model (repro.tensorpipe.codegen.FLOAT_OPS) — the two FLOP
+# counters traverse the IR independently and must agree on every kernel.
+_NEST_FLOAT_OPS = frozenset({
+    "arith.addf", "arith.subf", "arith.mulf", "arith.divf",
+    "arith.maximumf", "arith.minimumf", "arith.powf", "arith.negf",
+    "math.exp", "math.log", "math.sqrt", "math.sin", "math.cos",
+    "math.tanh", "math.abs",
+})
+
 
 @dataclass
 class NestReport:
@@ -48,6 +58,7 @@ class NestReport:
     body_ops: int
     unit_costs: Dict[str, OpCost] = field(default_factory=dict)
     fixed_resources: ResourceBudget = field(default_factory=ResourceBudget)
+    flops: int = 0
 
     @property
     def cycles(self) -> int:
@@ -76,6 +87,17 @@ class KernelReport:
     @property
     def latency_seconds(self) -> float:
         return self.total_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations per kernel invocation.
+
+        Derived from the nest model (trip counts x float body ops); the
+        compiled CPU executor computes the same quantity independently
+        from the loop tree (:func:`repro.tensorpipe.codegen.count_flops`)
+        and the two are cross-checked by the test suite.
+        """
+        return sum(nest.flops for nest in self.nests)
 
     def summary(self) -> str:
         lines = [
@@ -229,9 +251,12 @@ class HLSEngine:
                 current = inner_loops[0]
                 continue
             body_ops = [op for op in block if op.name != "affine.for"]
+            flops = trip * sum(1 for op in body_ops
+                               if op.name in _NEST_FLOAT_OPS)
             # Imperfect nest bodies: inner loops contribute their own trip.
             for inner in inner_loops:
                 inner_report = self._synthesize_nest(inner)
+                flops += trip * inner_report.flops
                 body_ops.extend(
                     op for op in _innermost_ops(inner)
                 )
@@ -257,6 +282,7 @@ class HLSEngine:
             body_ops=dfg.size,
             unit_costs=unit_costs,
             fixed_resources=fixed,
+            flops=flops,
         )
 
     # -- backend emission ------------------------------------------------------------
@@ -330,6 +356,68 @@ def _innermost_ops(loop: Operation) -> List[Operation]:
     if inner:
         return _innermost_ops(inner[0])
     return [op for op in block if op.name != "affine.yield"]
+
+
+@dataclass
+class ExecutorCrossCheck:
+    """FLOP/latency agreement between the HLS model and the compiled
+    CPU executor (the paper's validation story for §V: the same affine
+    module feeds both backends, so their static models must agree)."""
+
+    func_name: str
+    hls_flops: int
+    executor_flops: int
+    estimated_seconds: float   # HLS latency model @ target clock
+    measured_seconds: float    # compiled executor wall time
+
+    @property
+    def flops_match(self) -> bool:
+        return self.hls_flops == self.executor_flops
+
+    @property
+    def effective_gflops(self) -> float:
+        if self.measured_seconds <= 0.0:
+            return 0.0
+        return self.executor_flops / self.measured_seconds / 1e9
+
+    def summary(self) -> str:
+        marker = "ok" if self.flops_match else "MISMATCH"
+        return (f"cross-check {self.func_name}: flops hls={self.hls_flops} "
+                f"executor={self.executor_flops} [{marker}]; latency "
+                f"fpga-est={self.estimated_seconds * 1e6:.1f}us "
+                f"cpu-measured={self.measured_seconds * 1e6:.1f}us "
+                f"({self.effective_gflops:.2f} GFLOP/s)")
+
+
+def cross_check_executor(report: KernelReport, module: Module,
+                         func_name: str, inputs,
+                         runs: int = 3) -> ExecutorCrossCheck:
+    """Validate one :class:`KernelReport` against the compiled executor.
+
+    Compiles the same affine function through
+    :func:`repro.tensorpipe.codegen.compile_affine`, compares the two
+    independently computed FLOP counts and measures the executor's wall
+    time (best of ``runs``) next to the HLS latency estimate.
+    """
+    import time
+
+    from repro.tensorpipe.codegen import compile_affine
+
+    if runs < 1:
+        raise HLSError("cross_check_executor needs at least one run")
+    compiled = compile_affine(module, func_name)
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        compiled.run(inputs)
+        best = min(best, time.perf_counter() - start)
+    return ExecutorCrossCheck(
+        func_name=func_name,
+        hls_flops=report.flops,
+        executor_flops=compiled.flops,
+        estimated_seconds=report.latency_seconds,
+        measured_seconds=best,
+    )
 
 
 def synthesize_kernel(module: Module, func_name: str,

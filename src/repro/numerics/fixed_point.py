@@ -84,10 +84,42 @@ class FixedPointFormat:
         return wrapped
 
     def encode(self, values) -> np.ndarray:
-        """Quantize real values to raw integers (round half to even)."""
+        """Quantize real values to raw integers (round half to even).
+
+        Out-of-range values saturate to the correct rail (or wrap, in
+        wrapping mode): the clamp happens in the *float* domain, before
+        the int64 cast — casting first would wrap huge positive values to
+        INT64_MIN and saturate them to the negative rail.  NaN is not
+        representable and raises :class:`EverestError` (it used to encode
+        silently as ``min_value`` under a RuntimeWarning).
+        """
         values = np.asarray(values, dtype=np.float64)
-        raw = np.rint(values * (1 << self.frac_bits)).astype(np.int64)
-        return self._clamp(raw)
+        if np.any(np.isnan(values)):
+            raise EverestError("cannot encode NaN in a fixed-point format")
+        scaled = np.rint(values * (1 << self.frac_bits))
+        if self.saturate:
+            # Float-domain clip first (huge values would wrap in the
+            # int64 cast), then an exact integer-domain clip: for widths
+            # >= 54 bits float(raw_max) itself rounds up one ulp, so the
+            # float clip alone can land one above the rail.
+            bounded = np.clip(scaled, float(self.raw_min),
+                              float(self.raw_max))
+            return np.clip(bounded.astype(np.int64),
+                           self.raw_min, self.raw_max)
+        if np.any(np.isinf(values)):
+            raise EverestError(
+                "cannot wrap an infinite value into a fixed-point "
+                "format (use a saturating format)")
+        span = 1 << self.width
+        if np.any(np.abs(scaled) >= float(1 << 62)):
+            # Beyond int64-safe territory: wrap with exact Python-int
+            # arithmetic (a finite float IS an exact rational here).
+            flat = np.array(
+                [(int(v) - self.raw_min) % span + self.raw_min
+                 for v in scaled.ravel()], dtype=np.int64)
+            return flat.reshape(scaled.shape)
+        raw = scaled.astype(np.int64)
+        return np.mod(raw - self.raw_min, span) + self.raw_min
 
     def decode(self, raw) -> np.ndarray:
         """Raw integers back to float64 values."""

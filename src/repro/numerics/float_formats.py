@@ -36,15 +36,21 @@ class FloatFormat:
         return {"f64": 52, "f32": 23, "f16": 10, "bf16": 7}[self.name]
 
     def quantize(self, values) -> np.ndarray:
-        """Round values to this format and return them as float64."""
+        """Round values to this format and return them as float64.
+
+        Values beyond the target format's range overflow to ±inf — the
+        IEEE behaviour, deliberate here, hence the suppressed overflow
+        warning on the narrowing cast.
+        """
         values = np.asarray(values, dtype=np.float64)
         if self.name == "f64":
             return values.copy()
-        if self.name == "f32":
-            return values.astype(np.float32).astype(np.float64)
-        if self.name == "f16":
-            return values.astype(np.float16).astype(np.float64)
-        return _round_to_bfloat16(values)
+        with np.errstate(over="ignore"):
+            if self.name == "f32":
+                return values.astype(np.float32).astype(np.float64)
+            if self.name == "f16":
+                return values.astype(np.float16).astype(np.float64)
+            return _round_to_bfloat16(values)
 
     def __str__(self) -> str:
         return self.name

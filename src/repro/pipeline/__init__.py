@@ -30,6 +30,7 @@ from repro.pipeline.stage import Stage, StageRegistry
 from repro.pipeline.stages import (
     CompileResult,
     DeploymentPlan,
+    ExecutionResult,
     OlympusResult,
     builtin_stages,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "StageRegistry",
     "CompileResult",
     "DeploymentPlan",
+    "ExecutionResult",
     "OlympusResult",
     "builtin_stages",
 ]

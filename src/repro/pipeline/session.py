@@ -22,6 +22,7 @@ from repro.pipeline.stage import Stage, StageRegistry
 from repro.pipeline.stages import (
     CompileResult,
     DeploymentPlan,
+    ExecutionResult,
     OlympusResult,
     builtin_stages,
 )
@@ -37,7 +38,8 @@ class PipelineSession:
         capped at 8).
     register_builtins:
         Install the standard Fig. 2 stages (``frontend-parse``,
-        ``dialect-lowering``, ``hls``, ``olympus``, ``schedule``).
+        ``dialect-lowering``, ``canonicalize``, ``execute``, ``hls``,
+        ``olympus``, ``schedule``).
     """
 
     def __init__(self, *, max_workers: Optional[int] = None,
@@ -173,6 +175,28 @@ class PipelineSession:
                 runtime_params={"report": self.report},
                 detail=f"O{opt_level}")
         return CompileResult(text, kernel, module, key=key)
+
+    def execute(self, source: str, inputs, *,
+                backend: str = "compiled",
+                opt_level: int = 1) -> ExecutionResult:
+        """Compile to the CPU executor and run it over ``inputs``.
+
+        The compilation itself (codegen + ``compile()``) is a cached
+        ``execute`` stage keyed on the lowered module; the run over the
+        given inputs is never cached (inputs are arbitrary numpy arrays)
+        but is timed into the session report as an auxiliary event.
+        ``backend`` selects the vectorized-numpy executor (default) or
+        the reference ``"interpreter"``.
+        """
+        result = self.lower(source, opt_level=opt_level)
+        key, kernel = self.run_stage(
+            "execute", (result.kernel, result.module), key=result.key,
+            params={"backend": backend}, detail=backend)
+        with StageClock() as clock:
+            outputs = kernel.run(inputs)
+        self.report.record("execute/run", clock.seconds, cached=False,
+                           detail=kernel.backend, aux=True)
+        return ExecutionResult(kernel, outputs, clock.seconds, key=key)
 
     def compile(self, source: str, *,
                 number_format: Optional[str] = None,

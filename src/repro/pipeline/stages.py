@@ -8,6 +8,9 @@ Each function here implements one :class:`repro.pipeline.Stage`:
 ``canonicalize``          affine module -> canonicalized (and, at ``-O2``,
                           inlined) module; per-pass timings land in the
                           session's :class:`PipelineReport`
+``execute``               affine module -> :class:`CompiledKernel`, the
+                          vectorized-numpy CPU executor (the HLS flow's
+                          host-side analog)
 ``hls``                   affine module -> :class:`KernelReport`, optionally
                           under a custom data format (§V-B)
 ``olympus``               kernel report -> DSE points, best config and the
@@ -17,8 +20,8 @@ Each function here implements one :class:`repro.pipeline.Stage`:
 ========================  =====================================================
 
 The stage payload dataclasses (:class:`CompileResult`,
-:class:`OlympusResult`, :class:`DeploymentPlan`) are the session's public
-result types.
+:class:`ExecutionResult`, :class:`OlympusResult`, :class:`DeploymentPlan`)
+are the session's public result types.
 """
 
 from __future__ import annotations
@@ -42,6 +45,20 @@ class CompileResult:
     @property
     def name(self) -> str:
         return self.kernel.name if self.kernel is not None else "<unparsed>"
+
+
+@dataclass
+class ExecutionResult:
+    """A kernel execution through the compiled (or interpreter) backend."""
+
+    kernel: Any = None            # repro.tensorpipe.codegen.CompiledKernel
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+    key: str = ""                 # fingerprint of the execute stage
+
+    @property
+    def backend(self) -> str:
+        return self.kernel.backend if self.kernel is not None else "?"
 
 
 @dataclass
@@ -143,6 +160,22 @@ def stage_canonicalize(module: Any, *, opt_level: int = 1,
     return optimized
 
 
+def stage_execute(payload: Tuple[Any, Any], *,
+                  backend: str = "compiled") -> Any:
+    """``execute``: (kernel, affine module) -> :class:`CompiledKernel`.
+
+    Compiles the lowered module to the vectorized-numpy executor
+    (:mod:`repro.tensorpipe.codegen`); the artifact is cacheable — the
+    actual runs over input data happen outside the stage cache (see
+    :meth:`PipelineSession.execute`).  ``backend="interpreter"`` pins the
+    reference interpreter instead (baseline and differential runs).
+    """
+    from repro.tensorpipe.codegen import compile_affine
+
+    kernel, module = payload
+    return compile_affine(module, kernel.name, backend=backend)
+
+
 def stage_hls(payload: Tuple[Any, Any], *,
               number_format: Optional[str] = None,
               clock_mhz: float = 300.0) -> Any:
@@ -218,6 +251,8 @@ def builtin_stages() -> List[Tuple[str, Any, str]]:
          "kernel AST -> verified affine module"),
         ("canonicalize", stage_canonicalize,
          "fold/DCE/CSE (+ inlining at -O2) on the lowered module"),
+        ("execute", stage_execute,
+         "affine module -> compiled CPU executor (vectorized numpy)"),
         ("hls", stage_hls,
          "affine module -> HLS kernel report"),
         ("olympus", stage_olympus,

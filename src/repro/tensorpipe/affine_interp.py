@@ -9,7 +9,6 @@ test suite checks on every kernel, including the paper's Fig. 3 listing.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Mapping
 
 import numpy as np
@@ -17,14 +16,20 @@ import numpy as np
 from repro.errors import EverestError
 from repro.ir import Module, Operation, Value, types as T
 
+# Scalar semantics are the numpy ufuncs, NOT the Python builtins /
+# ``math`` module: numpy's scalar ufunc path and its array loops produce
+# bit-identical results, which is what lets the compiled backend
+# (:mod:`repro.tensorpipe.codegen`) vectorize these ops and still agree
+# with this interpreter bit-for-bit.  ``math.exp``/builtin ``max`` do not
+# share that property (different libm paths, different NaN/-0.0 rules).
 _BINOPS = {
     "arith.addf": lambda a, b: a + b,
     "arith.subf": lambda a, b: a - b,
     "arith.mulf": lambda a, b: a * b,
     "arith.divf": lambda a, b: a / b,
-    "arith.maximumf": max,
-    "arith.minimumf": min,
-    "arith.powf": lambda a, b: a**b,
+    "arith.maximumf": np.maximum,
+    "arith.minimumf": np.minimum,
+    "arith.powf": np.power,
     "arith.addi": lambda a, b: a + b,
     "arith.subi": lambda a, b: a - b,
     "arith.muli": lambda a, b: a * b,
@@ -38,9 +43,9 @@ _CMPS = {"le": lambda a, b: a <= b, "lt": lambda a, b: a < b,
          "ge": lambda a, b: a >= b, "gt": lambda a, b: a > b,
          "eq": lambda a, b: a == b, "ne": lambda a, b: a != b}
 
-_MATH = {"math.exp": math.exp, "math.log": math.log, "math.sqrt": math.sqrt,
-         "math.sin": math.sin, "math.cos": math.cos, "math.tanh": math.tanh,
-         "math.abs": abs}
+_MATH = {"math.exp": np.exp, "math.log": np.log, "math.sqrt": np.sqrt,
+         "math.sin": np.sin, "math.cos": np.cos, "math.tanh": np.tanh,
+         "math.abs": np.abs}
 
 _NUMPY_DTYPES = {
     "f64": np.float64, "f32": np.float32, "i64": np.int64, "i32": np.int32,
@@ -50,6 +55,39 @@ _NUMPY_DTYPES = {
 
 def _dtype_for(ty: T.Type):
     return _NUMPY_DTYPES.get(str(ty), np.float64)
+
+
+def bind_buffers(func: Operation, inputs: Mapping[str, np.ndarray]):
+    """Allocate the argument buffers for one affine function call.
+
+    Inputs are copied (and shape/dtype checked) into fresh arrays; output
+    buffers are zero-initialized.  Returns ``(buffers, output_names)``
+    where ``buffers`` follows the entry-block argument order.  Shared by
+    the interpreter and the compiled backend so both execute over
+    identically prepared memory.
+    """
+    entry = func.regions[0].entry
+    arg_names: List[str] = func.attr("arg_names")
+    num_outputs: int = func.attr("num_outputs")
+    buffers: List[np.ndarray] = []
+    for i, arg in enumerate(entry.args):
+        name = arg_names[i]
+        ref = arg.type
+        assert isinstance(ref, T.MemRefType)
+        dtype = _dtype_for(ref.element)
+        if i < len(entry.args) - num_outputs:
+            if name not in inputs:
+                raise EverestError(f"missing input {name!r}")
+            array = np.asarray(inputs[name], dtype=dtype)
+            if tuple(array.shape) != tuple(ref.shape):
+                raise EverestError(
+                    f"input {name!r}: expected {ref.shape}, "
+                    f"got {array.shape}"
+                )
+            buffers.append(array.copy())
+        else:
+            buffers.append(np.zeros(ref.shape, dtype=dtype))
+    return buffers, arg_names[len(entry.args) - num_outputs:]
 
 
 class AffineInterpreter:
@@ -64,31 +102,14 @@ class AffineInterpreter:
         """Run the function; returns the output buffers by name."""
         entry = self.func.regions[0].entry
         arg_names: List[str] = self.func.attr("arg_names")
-        num_outputs: int = self.func.attr("num_outputs")
+        buffers, output_names = bind_buffers(self.func, inputs)
         env: Dict[Value, object] = {}
-        buffers: Dict[str, np.ndarray] = {}
+        by_name: Dict[str, np.ndarray] = {}
         for i, arg in enumerate(entry.args):
-            name = arg_names[i]
-            ref = arg.type
-            assert isinstance(ref, T.MemRefType)
-            dtype = _dtype_for(ref.element)
-            if i < len(entry.args) - num_outputs:
-                if name not in inputs:
-                    raise EverestError(f"missing input {name!r}")
-                array = np.asarray(inputs[name], dtype=dtype)
-                if tuple(array.shape) != tuple(ref.shape):
-                    raise EverestError(
-                        f"input {name!r}: expected {ref.shape}, "
-                        f"got {array.shape}"
-                    )
-                buffer = array.copy()
-            else:
-                buffer = np.zeros(ref.shape, dtype=dtype)
-            env[arg] = buffer
-            buffers[name] = buffer
+            env[arg] = buffers[i]
+            by_name[arg_names[i]] = buffers[i]
         self._run_block(entry, env)
-        return {name: buffers[name]
-                for name in arg_names[len(entry.args) - num_outputs:]}
+        return {name: by_name[name] for name in output_names}
 
     # -- execution ------------------------------------------------------------
 
@@ -154,6 +175,11 @@ class AffineInterpreter:
                 value = int(value)
             elif name == "arith.sitofp":
                 value = float(value)
+            elif name in ("arith.truncf", "arith.extf"):
+                # Round through the *target* precision: a truncf to f32
+                # must lose mantissa bits, not silently keep computing in
+                # f64 (and an extf must widen so later arithmetic promotes).
+                value = _dtype_for(op.results[0].type)(value)
             env[op.results[0]] = value
             return
         if name == "arith.negf":

@@ -1,0 +1,716 @@
+"""Compiled executor for lowered ``affine`` functions (codegen -> numpy).
+
+:class:`AffineCompiler` walks one lowered affine function and emits Python
+source: ``affine.for`` nests become native loops, and every *perfect* nest
+with a straight-line load/compute/store body is vectorized — the loop
+dimensions that index the stored buffer become numpy slice/grid
+dimensions, while reduction dimensions (loop IVs the store does not use)
+stay as sequential Python loops so accumulation order — and therefore
+every float64 bit — matches :class:`~repro.tensorpipe.affine_interp.
+AffineInterpreter` exactly.  Gather-style computed indices are handled by
+broadcasting integer index grids through numpy advanced indexing.
+
+This is the CPU analog of the SDK's HLS flow (paper §V): the same affine
+module either goes to the hardware backends (``fsm``/``hw``) or, through
+this compiler, to a fast host executor.  The bit-for-bit contract with the
+interpreter is enforced differentially by the test suite on every golden
+kernel and on fuzz-generated modules at all optimization levels.
+
+Compilation results are cached by module content hash (the chained
+fingerprint machinery of :mod:`repro.pipeline.cache`); any op outside the
+supported set falls back to the interpreter, never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EverestError
+from repro.ir import Module, Operation, Value, types as T
+from repro.ir.printer import print_module
+from repro.pipeline.cache import fingerprint
+from repro.tensorpipe.affine_interp import (
+    AffineInterpreter,
+    _dtype_for,
+    bind_buffers,
+)
+
+
+class UnsupportedAffineOp(EverestError):
+    """Raised internally when a function contains an op codegen cannot
+    compile; :func:`compile_affine` catches it and falls back to the
+    interpreter backend."""
+
+
+_DTYPE_SRC = {
+    "f64": "np.float64", "f32": "np.float32", "i64": "np.int64",
+    "i32": "np.int32", "i1": "np.bool_", "index": "np.int64",
+}
+
+# Ops counted as one floating-point operation per loop iteration (the
+# HLS engine's FLOP model uses the same set — see test_hls cross-check).
+FLOAT_OPS = frozenset({
+    "arith.addf", "arith.subf", "arith.mulf", "arith.divf",
+    "arith.maximumf", "arith.minimumf", "arith.powf", "arith.negf",
+    "math.exp", "math.log", "math.sqrt", "math.sin", "math.cos",
+    "math.tanh", "math.abs",
+})
+
+# name -> (scalar template, vector template).  Scalar templates reproduce
+# the interpreter's expressions verbatim; vector templates are the numpy
+# array forms that are bit-identical to the scalar ufunc path.
+_BINOP_SRC = {
+    "arith.addf": ("({a} + {b})", "({a} + {b})"),
+    "arith.subf": ("({a} - {b})", "({a} - {b})"),
+    "arith.mulf": ("({a} * {b})", "({a} * {b})"),
+    "arith.divf": ("({a} / {b})", "({a} / {b})"),
+    "arith.maximumf": ("np.maximum({a}, {b})", "np.maximum({a}, {b})"),
+    "arith.minimumf": ("np.minimum({a}, {b})", "np.minimum({a}, {b})"),
+    "arith.powf": ("np.power({a}, {b})", "np.power({a}, {b})"),
+    "arith.addi": ("({a} + {b})", "({a} + {b})"),
+    "arith.subi": ("({a} - {b})", "({a} - {b})"),
+    "arith.muli": ("({a} * {b})", "({a} * {b})"),
+    "arith.divsi": ("(int({a}) // int({b}))", "({a} // {b})"),
+    "arith.remsi": ("(int({a}) % int({b}))", "({a} % {b})"),
+    "arith.maxsi": ("max({a}, {b})", "np.maximum({a}, {b})"),
+    "arith.minsi": ("min({a}, {b})", "np.minimum({a}, {b})"),
+}
+
+_CMP_SRC = {"le": "<=", "lt": "<", "ge": ">=", "gt": ">", "eq": "==",
+            "ne": "!="}
+
+_MATH_SRC = {
+    "math.exp": "np.exp", "math.log": "np.log", "math.sqrt": "np.sqrt",
+    "math.sin": "np.sin", "math.cos": "np.cos", "math.tanh": "np.tanh",
+    "math.abs": "np.abs",
+}
+
+
+def _literal(value) -> str:
+    """A source literal that reconstructs the attribute value exactly."""
+    if isinstance(value, bool):
+        return repr(value)
+    if isinstance(value, float):
+        if value != value:
+            return "float('nan')"
+        if value == float("inf"):
+            return "float('inf')"
+        if value == float("-inf"):
+            return "float('-inf')"
+        return repr(value)  # repr(float) round-trips bit-exactly
+    if isinstance(value, int):
+        return repr(value)
+    raise UnsupportedAffineOp(f"cannot inline constant {value!r}")
+
+
+def _trip(lower: int, upper: int, step: int) -> int:
+    if step <= 0:
+        raise UnsupportedAffineOp(f"non-positive loop step {step}")
+    return max(0, -(-(upper - lower) // step))
+
+
+@dataclass
+class _Loop:
+    """One level of an ``affine.for`` nest during compilation."""
+
+    iv: Value
+    lower: int
+    upper: int
+    step: int
+
+    @property
+    def extent(self) -> int:
+        return _trip(self.lower, self.upper, self.step)
+
+    def range_src(self) -> str:
+        return f"range({self.lower}, {self.upper}, {self.step})"
+
+    def slice_src(self, dim: Optional[int]) -> str:
+        """Basic-indexing slice covering this loop's iteration space."""
+        if self.lower == 0 and self.step == 1 and \
+                (dim is None or self.upper == dim):
+            return ":"
+        step = "" if self.step == 1 else f":{self.step}"
+        return f"{self.lower}:{self.upper}{step}"
+
+
+@dataclass
+class CompiledKernel:
+    """An executable artifact for one affine function.
+
+    ``backend`` is ``"compiled"`` when the generated numpy source is in
+    use and ``"interpreter"`` when compilation fell back to
+    :class:`AffineInterpreter`.  ``run`` has the exact signature and
+    semantics of ``AffineInterpreter.run`` — including bit-for-bit float64
+    results.
+    """
+
+    func_name: str
+    backend: str
+    source: str = ""
+    key: str = ""
+    flops: int = 0
+    vectorized_nests: int = 0
+    scalar_nests: int = 0
+    _func: Optional[Operation] = field(default=None, repr=False)
+    _fn: Optional[object] = field(default=None, repr=False)
+    _interp: Optional[AffineInterpreter] = field(default=None, repr=False)
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        if self.backend == "interpreter":
+            return self._interp.run(inputs)
+        buffers, output_names = bind_buffers(self._func, inputs)
+        self._fn(buffers)
+        arg_names = self._func.attr("arg_names")
+        by_name = dict(zip(arg_names, buffers))
+        return {name: by_name[name] for name in output_names}
+
+    def __str__(self) -> str:
+        return (f"CompiledKernel({self.func_name}, backend={self.backend}, "
+                f"vectorized={self.vectorized_nests}, "
+                f"scalar={self.scalar_nests}, flops={self.flops})")
+
+
+class AffineCompiler:
+    """Emits and compiles Python/numpy source for one affine function."""
+
+    def __init__(self, module: Module, func_name: str):
+        self.module = module
+        self.func = module.lookup(func_name)
+        if self.func.attr("kernel_lang") != "affine":
+            raise EverestError(f"{func_name} is not an affine-level function")
+        self.func_name = func_name
+        self.lines: List[str] = []
+        self.indent = 1
+        # Scalar-context expression for each Value (vars, literals, ivs).
+        self.expr: Dict[Value, str] = {}
+        self.counter = 0
+        self.vectorized_nests = 0
+        self.scalar_nests = 0
+
+    # -- source assembly -----------------------------------------------------
+
+    def _fresh(self, prefix: str = "v") -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def generate(self) -> str:
+        """Emit the module-level source for this function."""
+        entry = self.func.regions[0].entry
+        self.lines = ["def __kernel(args):"]
+        for i, arg in enumerate(entry.args):
+            name = f"a{i}"
+            self.expr[arg] = name
+            self._emit(f"{name} = args[{i}]")
+        self._emit_block_scalar(entry)
+        self._emit("return None")
+        return "\n".join(self.lines) + "\n"
+
+    # -- scalar (native-loop) emission ---------------------------------------
+
+    def _emit_block_scalar(self, block) -> None:
+        for op in block.operations:
+            self._emit_op_scalar(op)
+
+    def _emit_op_scalar(self, op: Operation) -> None:
+        name = op.name
+        if name == "affine.for":
+            if self._try_vectorize(op):
+                self.vectorized_nests += 1
+                return
+            self.scalar_nests += 1
+            self._emit_loop_scalar(op)
+            return
+        if name in ("affine.yield", "func.return"):
+            return
+        if name == "memref.alloc":
+            ref = op.results[0].type
+            var = self._fresh()
+            self._emit(f"{var} = np.zeros({tuple(ref.shape)!r}, "
+                       f"{_DTYPE_SRC.get(str(ref.element), 'np.float64')})")
+            self.expr[op.results[0]] = var
+            return
+        if name == "memref.copy":
+            src = self.expr[op.operands[0]]
+            dst = self.expr[op.operands[1]]
+            self._emit(f"np.copyto({dst}, {src})")
+            return
+        if name == "arith.constant":
+            self.expr[op.results[0]] = _literal(op.attr("value"))
+            return
+        if name == "memref.load":
+            buffer = self.expr[op.operands[0]]
+            indices = [self.expr[o] for o in op.operands[1:]]
+            var = self._fresh()
+            sub = ", ".join(indices) if indices else "()"
+            self._emit(f"{var} = {buffer}[{sub}]")
+            self.expr[op.results[0]] = var
+            return
+        if name == "memref.store":
+            value = self.expr[op.operands[0]]
+            buffer = self.expr[op.operands[1]]
+            indices = [self.expr[o] for o in op.operands[2:]]
+            sub = ", ".join(indices) if indices else "()"
+            self._emit(f"{buffer}[{sub}] = {value}")
+            return
+        template = self._compute_template(op, vector=False)
+        if template is None:
+            raise UnsupportedAffineOp(f"cannot compile op {name}")
+        var = self._fresh()
+        self._emit(f"{var} = {template}")
+        self.expr[op.results[0]] = var
+
+    def _emit_loop_scalar(self, op: Operation) -> None:
+        loop = _Loop(op.regions[0].entry.args[0], op.attr("lower"),
+                     op.attr("upper"), op.attr("step"))
+        iv = self._fresh("i")
+        self.expr[loop.iv] = iv
+        self._emit(f"for {iv} in {loop.range_src()}:")
+        self.indent += 1
+        body = op.regions[0].entry
+        if all(o.name in ("affine.yield",) for o in body.operations):
+            self._emit("pass")
+        else:
+            self._emit_block_scalar(body)
+        self.indent -= 1
+
+    def _operand_src(self, value: Value, vector: bool,
+                     ctx: Optional[Dict[Value, Tuple[str, str]]] = None) -> str:
+        if ctx is not None and value in ctx:
+            return ctx[value][0]
+        if value in self.expr:
+            return self.expr[value]
+        raise UnsupportedAffineOp("operand defined outside compiled scope")
+
+    def _compute_template(self, op: Operation, vector: bool,
+                          ctx: Optional[Dict[Value, Tuple[str, str]]] = None
+                          ) -> Optional[str]:
+        """Source expression for a pure compute op, or None if unknown."""
+        name = op.name
+        ops = [self._operand_src(o, vector, ctx) for o in op.operands]
+        if name in _BINOP_SRC:
+            template = _BINOP_SRC[name][1 if vector else 0]
+            return template.format(a=ops[0], b=ops[1])
+        if name in ("arith.cmpf", "arith.cmpi"):
+            cmp = _CMP_SRC.get(op.attr("predicate"))
+            if cmp is None:
+                raise UnsupportedAffineOp(
+                    f"unknown predicate {op.attr('predicate')!r}")
+            return f"({ops[0]} {cmp} {ops[1]})"
+        if name == "arith.select":
+            if vector:
+                return f"np.where({ops[0]}, {ops[1]}, {ops[2]})"
+            return f"({ops[1]} if {ops[0]} else {ops[2]})"
+        if name == "arith.negf":
+            return f"(-{ops[0]})"
+        if name in _MATH_SRC:
+            return f"{_MATH_SRC[name]}({ops[0]})"
+        if name == "arith.index_cast":
+            return ops[0]
+        if name == "arith.sitofp":
+            if vector:
+                return f"np.asarray({ops[0]}).astype(np.float64)"
+            return f"float({ops[0]})"
+        if name == "arith.fptosi":
+            if vector:
+                return f"np.asarray({ops[0]}).astype(np.int64)"
+            return f"int({ops[0]})"
+        if name in ("arith.truncf", "arith.extf"):
+            dtype = _DTYPE_SRC.get(str(op.results[0].type), "np.float64")
+            if vector:
+                return f"np.asarray({ops[0]}).astype({dtype})"
+            return f"{dtype}({ops[0]})"
+        return None
+
+    # -- nest vectorization ---------------------------------------------------
+
+    def _collect_perfect_nest(
+            self, for_op: Operation
+    ) -> Optional[Tuple[List[_Loop], List[Operation]]]:
+        loops: List[_Loop] = []
+        current = for_op
+        while True:
+            block = current.regions[0].entry
+            loops.append(_Loop(block.args[0], current.attr("lower"),
+                               current.attr("upper"), current.attr("step")))
+            ops = list(block.operations)
+            inner = [o for o in ops if o.name == "affine.for"]
+            if len(ops) == 2 and len(inner) == 1 and ops[0] is inner[0] \
+                    and ops[1].name == "affine.yield":
+                current = inner[0]
+                continue
+            if inner:
+                return None  # imperfect nest: scalar loops handle it
+            body = [o for o in ops if o.name != "affine.yield"]
+            return loops, body
+
+    _VECTOR_OPS = frozenset(
+        {"memref.load", "memref.store", "arith.constant", "arith.cmpf",
+         "arith.cmpi", "arith.select", "arith.negf", "arith.index_cast",
+         "arith.sitofp", "arith.fptosi", "arith.truncf", "arith.extf"}
+        | set(_BINOP_SRC) | set(_MATH_SRC)
+    )
+
+    def _try_vectorize(self, for_op: Operation) -> bool:
+        """Emit a vectorized form of a perfect nest; False if not possible."""
+        collected = self._collect_perfect_nest(for_op)
+        if collected is None:
+            return False
+        loops, body = collected
+        if not all(op.name in self._VECTOR_OPS for op in body):
+            return False
+        if any(loop.step <= 0 for loop in loops):
+            return False
+        stores = [op for op in body if op.name == "memref.store"]
+        if not stores:
+            # No memory effects: the nest is dead, nothing to execute.
+            return True
+
+        iv_to_loop = {loop.iv: loop for loop in loops}
+        # Body-local classification: value -> (expr, kind).
+        # kind: 'const' literal | 'vec' computed array-expression.
+        ctx: Dict[Value, Tuple[str, str]] = {}
+        consts = {}
+        for op in body:
+            if op.name == "arith.constant":
+                consts[op.results[0]] = op.attr("value")
+
+        def index_kind(value: Value) -> str:
+            if value in iv_to_loop:
+                return "iv"
+            if value in consts:
+                return "const"
+            if value in self.expr:
+                return "scalar"  # outer iv / outer scalar / constant
+            return "computed"
+
+        # The output space: loop IVs the stores index, in store order.
+        out_ivs: List[Value] = []
+        for idx in stores[0].operands[2:]:
+            if index_kind(idx) == "iv":
+                if idx in out_ivs:
+                    return False
+                out_ivs.append(idx)
+        for store in stores:
+            kinds = [index_kind(idx) for idx in store.operands[2:]]
+            if any(kind == "computed" for kind in kinds):
+                return False
+            ivs = [idx for idx in store.operands[2:]
+                   if index_kind(idx) == "iv"]
+            if ivs != out_ivs:
+                return False
+        out_pos = {iv: i for i, iv in enumerate(out_ivs)}
+        red_loops = [loop for loop in loops if loop.iv not in out_pos]
+
+        # Loop-carried-dependence check: a buffer that is both stored and
+        # loaded in this body must be accessed at the *same* indices
+        # (the sequential-reduction pattern); anything else could alias
+        # across vectorized iterations.
+        stored_indices: Dict[Value, List[Tuple[Value, ...]]] = {}
+        for store in stores:
+            stored_indices.setdefault(store.operands[1], []).append(
+                tuple(store.operands[2:]))
+        for op in body:
+            if op.name != "memref.load":
+                continue
+            buffer = op.operands[0]
+            if buffer in stored_indices:
+                patterns = stored_indices[buffer]
+                if len(patterns) != 1 or tuple(op.operands[1:]) != patterns[0]:
+                    return False
+
+        # -- emission ---------------------------------------------------------
+        emitted: List[str] = []
+        base_indent = self.indent
+
+        def emit(text: str, extra: int = 0) -> None:
+            emitted.append("    " * (base_indent + extra) + text)
+
+        # Integer index grids for the output dimensions (used by loads
+        # with computed gather indices and by IVs consumed as values).
+        grid_of: Dict[Value, str] = {}
+
+        def grid(iv: Value) -> str:
+            if iv not in grid_of:
+                loop = iv_to_loop[iv]
+                var = self._fresh("g")
+                shape = tuple(iv_to_loop[o].extent if o is iv else 1
+                              for o in out_ivs)
+                emit(f"{var} = np.arange({loop.lower}, {loop.upper}, "
+                     f"{loop.step}).reshape({shape!r})")
+                grid_of[iv] = var
+            return grid_of[iv]
+
+        loop_lines: List[str] = []
+        depth = 0
+        red_iv_var: Dict[Value, str] = {}
+        for loop in red_loops:
+            var = self._fresh("i")
+            red_iv_var[loop.iv] = var
+            loop_lines.append(("    " * (base_indent + depth)
+                               + f"for {var} in {loop.range_src()}:"))
+            depth += 1
+
+        def value_src(value: Value) -> str:
+            """Vector-context expression for an operand."""
+            if value in ctx:
+                return ctx[value][0]
+            if value in red_iv_var:
+                return red_iv_var[value]
+            if value in out_pos:
+                return grid(value)
+            if value in self.expr:
+                return self.expr[value]
+            raise UnsupportedAffineOp("operand outside nest scope")
+
+        def index_src_basic(value: Value, dim: Optional[int]) -> str:
+            kind = index_kind(value)
+            if kind == "iv" and value in out_pos:
+                return iv_to_loop[value].slice_src(dim)
+            if kind == "iv":
+                return red_iv_var[value]
+            if kind == "const":
+                return _literal(consts[value])
+            return self.expr[value]
+
+        def index_src_advanced(value: Value) -> str:
+            kind = index_kind(value)
+            if kind == "iv" and value in out_pos:
+                return grid(value)
+            if kind == "iv":
+                return red_iv_var[value]
+            if kind == "const":
+                return _literal(consts[value])
+            if kind == "scalar":
+                return self.expr[value]
+            return ctx[value][0]
+
+        body_lines: List[str] = []
+
+        def emit_body(text: str) -> None:
+            body_lines.append("    " * (base_indent + depth) + text)
+
+        try:
+            for op in body:
+                if op.name == "arith.constant":
+                    ctx[op.results[0]] = (_literal(op.attr("value")), "const")
+                    continue
+                if op.name == "memref.load":
+                    buffer_val = op.operands[0]
+                    buffer = self.expr.get(buffer_val)
+                    if buffer is None:
+                        raise UnsupportedAffineOp("load from local buffer")
+                    ref = buffer_val.type
+                    indices = list(op.operands[1:])
+                    kinds = [index_kind(idx) for idx in indices]
+                    var = self._fresh()
+                    out_idx = [idx for idx in indices if idx in out_pos]
+                    if not indices:
+                        emit_body(f"{var} = {buffer}[()]")
+                    elif "computed" not in kinds and \
+                            len(out_idx) == len(set(out_idx)):
+                        parts = [
+                            index_src_basic(idx, ref.shape[d])
+                            for d, idx in enumerate(indices)
+                        ]
+                        expr = f"{buffer}[{', '.join(parts)}]"
+                        present = [idx for idx in indices if idx in out_pos]
+                        wanted = sorted(present, key=out_pos.get)
+                        if present != wanted:
+                            perm = tuple(present.index(iv) for iv in wanted)
+                            expr += f".transpose{perm!r}"
+                        if present and len(present) < len(out_ivs):
+                            pad = ", ".join(
+                                ":" if iv in present else "None"
+                                for iv in out_ivs)
+                            expr = f"({expr})[{pad}]"
+                        emit_body(f"{var} = {expr}")
+                    else:
+                        parts = [index_src_advanced(idx) for idx in indices]
+                        emit_body(f"{var} = {buffer}[{', '.join(parts)}]")
+                    ctx[op.results[0]] = (var, "vec")
+                    continue
+                if op.name == "memref.store":
+                    value = op.operands[0]
+                    buffer_val = op.operands[1]
+                    buffer = self.expr.get(buffer_val)
+                    if buffer is None:
+                        raise UnsupportedAffineOp("store to local buffer")
+                    ref = buffer_val.type
+                    indices = list(op.operands[2:])
+                    if value in ctx:
+                        value_expr = ctx[value][0]
+                    else:
+                        value_expr = value_src(value)
+                    if not indices:
+                        emit_body(f"{buffer}[()] = {value_expr}")
+                    else:
+                        parts = [
+                            index_src_basic(idx, ref.shape[d])
+                            for d, idx in enumerate(indices)
+                        ]
+                        emit_body(f"{buffer}[{', '.join(parts)}] "
+                                  f"= {value_expr}")
+                    continue
+                template = self._vector_compute(op, value_src)
+                var = self._fresh()
+                emit_body(f"{var} = {template}")
+                ctx[op.results[0]] = (var, "vec")
+        except UnsupportedAffineOp:
+            return False
+
+        self.lines.extend(emitted)     # grids (before the red loops)
+        self.lines.extend(loop_lines)  # sequential reduction loops
+        self.lines.extend(body_lines)  # vectorized body
+        return True
+
+    def _vector_compute(self, op: Operation, resolve) -> str:
+        name = op.name
+        ops = [resolve(o) for o in op.operands]
+        if name in _BINOP_SRC:
+            return _BINOP_SRC[name][1].format(a=ops[0], b=ops[1])
+        if name in ("arith.cmpf", "arith.cmpi"):
+            cmp = _CMP_SRC.get(op.attr("predicate"))
+            if cmp is None:
+                raise UnsupportedAffineOp(
+                    f"unknown predicate {op.attr('predicate')!r}")
+            return f"({ops[0]} {cmp} {ops[1]})"
+        if name == "arith.select":
+            return f"np.where({ops[0]}, {ops[1]}, {ops[2]})"
+        if name == "arith.negf":
+            return f"(-{ops[0]})"
+        if name in _MATH_SRC:
+            return f"{_MATH_SRC[name]}({ops[0]})"
+        if name == "arith.index_cast":
+            return ops[0]
+        if name == "arith.sitofp":
+            return f"np.asarray({ops[0]}).astype(np.float64)"
+        if name == "arith.fptosi":
+            return f"np.asarray({ops[0]}).astype(np.int64)"
+        if name in ("arith.truncf", "arith.extf"):
+            dtype = _DTYPE_SRC.get(str(op.results[0].type), "np.float64")
+            return f"np.asarray({ops[0]}).astype({dtype})"
+        raise UnsupportedAffineOp(f"cannot vectorize op {name}")
+
+
+# -- FLOP accounting ---------------------------------------------------------
+
+
+def count_flops(func: Operation) -> int:
+    """Static floating-point-operation count of one affine function.
+
+    Every op in :data:`FLOAT_OPS` counts once per enclosing-loop trip
+    product.  The HLS engine computes the same quantity from its nest
+    reports; ``tests/test_hls.py`` cross-checks the two.
+    """
+
+    def visit(block, trip: int) -> int:
+        total = 0
+        for op in block.operations:
+            if op.name == "affine.for":
+                inner = _trip(op.attr("lower"), op.attr("upper"),
+                              op.attr("step") or 1)
+                total += visit(op.regions[0].entry, trip * inner)
+            elif op.name in FLOAT_OPS:
+                total += trip
+            for region in op.regions:
+                if op.name == "affine.for":
+                    break
+                for inner_block in region.blocks:
+                    total += visit(inner_block, trip)
+        return total
+
+    return visit(func.regions[0].entry, 1)
+
+
+# -- public entry points -----------------------------------------------------
+
+_COMPILE_CACHE: Dict[str, CompiledKernel] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def compile_cache_stats() -> Tuple[int, int]:
+    """(entries, hits) of the process-wide compile cache."""
+    with _CACHE_LOCK:
+        return len(_COMPILE_CACHE), _CACHE_HITS[0]
+
+
+_CACHE_HITS = [0]
+
+
+def clear_compile_cache() -> None:
+    with _CACHE_LOCK:
+        _COMPILE_CACHE.clear()
+        _CACHE_HITS[0] = 0
+
+
+def compile_affine(module: Module, func_name: str, *,
+                   backend: str = "compiled",
+                   cache: bool = True) -> CompiledKernel:
+    """Compile one affine function to a :class:`CompiledKernel`.
+
+    Results are cached by content hash of the printed module plus the
+    function name, so repeated compiles of an identical module are free.
+    Functions containing unsupported ops degrade to the interpreter
+    backend (same results, interpreter speed); ``backend="interpreter"``
+    forces that path (baseline/differential runs).
+    """
+    if backend not in ("compiled", "interpreter"):
+        raise EverestError(f"unknown executor backend {backend!r}")
+    key = fingerprint("affine-codegen", print_module(module), func_name,
+                      backend)
+    if cache:
+        with _CACHE_LOCK:
+            hit = _COMPILE_CACHE.get(key)
+            if hit is not None:
+                _CACHE_HITS[0] += 1
+                return hit
+    func = module.lookup(func_name)
+    try:
+        flops = count_flops(func)
+    except UnsupportedAffineOp:
+        # e.g. negative-step loops: executable, but outside the static
+        # FLOP model.  Never let the internal exception escape — the
+        # contract is interpreter fallback, not a crash.
+        flops = 0
+    kernel = None
+    if backend == "compiled":
+        compiler = AffineCompiler(module, func_name)
+        try:
+            source = compiler.generate()
+            namespace = {"np": np}
+            code = compile(source, f"<affine-codegen:{func_name}>", "exec")
+            exec(code, namespace)
+            kernel = CompiledKernel(
+                func_name=func_name, backend="compiled", source=source,
+                key=key, flops=flops,
+                vectorized_nests=compiler.vectorized_nests,
+                scalar_nests=compiler.scalar_nests,
+                _func=func, _fn=namespace["__kernel"],
+            )
+        except UnsupportedAffineOp:
+            kernel = None
+    if kernel is None:
+        kernel = CompiledKernel(
+            func_name=func_name, backend="interpreter", key=key, flops=flops,
+            _interp=AffineInterpreter(module, func_name),
+        )
+    if cache:
+        with _CACHE_LOCK:
+            _COMPILE_CACHE[key] = kernel
+    return kernel
+
+
+def run_affine_compiled(module: Module, func_name: str,
+                        inputs: Mapping[str, np.ndarray]
+                        ) -> Dict[str, np.ndarray]:
+    """Compile (cached) and execute; drop-in for
+    :func:`repro.tensorpipe.affine_interp.run_affine`."""
+    return compile_affine(module, func_name).run(inputs)

@@ -93,6 +93,13 @@ class TestCFDlangCompiled:
         verify(m3)
         got = run_affine(m3, "mv", inputs)["y"]
         np.testing.assert_allclose(got, expected)
+        # The compiled executor must agree with the interpreter
+        # bit-for-bit (including the diagonal loads contractions emit).
+        from repro.tensorpipe.codegen import compile_affine
+
+        compiled = compile_affine(m3, "mv")
+        assert compiled.backend == "compiled"
+        np.testing.assert_array_equal(compiled.run(inputs)["y"], got)
 
 
 class TestONNXFrontend:

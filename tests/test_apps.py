@@ -26,8 +26,10 @@ from repro.apps.energy import (
 from repro.apps.traffic import (
     GaussianMixture1D,
     RoadNetwork,
+    SegmentSpeedModel,
     SpeedCNN,
     SpeedProfile,
+    departure_profile,
     generate_fcd,
     match_one,
     matching_accuracy,
@@ -259,6 +261,48 @@ class TestTraffic:
         night = ptdr_montecarlo(models, 3 * 3600.0, samples=600, seed=0)
         assert peak.median_s > night.median_s
         assert peak.percentile_s(95) >= peak.median_s
+
+    def _time_invariant_models(self, segments=4):
+        """Segment models whose speed distribution ignores the clock, so
+        any correlation between departures is purely RNG-stream reuse."""
+        return [
+            SegmentSpeedModel(
+                length_m=500.0,
+                interval_mean=np.full(96, 12.0),
+                interval_std=np.full(96, 1.5),
+            )
+            for _ in range(segments)
+        ]
+
+    def test_departure_profile_deterministic(self):
+        models = self._time_invariant_models()
+        a = departure_profile(models, [0.0, 450.0], samples=100, seed=7)
+        b = departure_profile(models, [0.0, 450.0], samples=100, seed=7)
+        for dep in a:
+            np.testing.assert_array_equal(a[dep].samples_s,
+                                          b[dep].samples_s)
+
+    def test_subsecond_departures_get_distinct_streams(self):
+        # Regression: seeds were derived as seed + int(departure), so
+        # departures 100.0, 100.25 and 100.75 all truncated to the same
+        # stream and produced identical Monte-Carlo draws.
+        models = self._time_invariant_models()
+        profile = departure_profile(models, [100.0, 100.25, 100.75],
+                                    samples=200, seed=0)
+        drawn = [profile[dep].samples_s for dep in (100.0, 100.25, 100.75)]
+        assert not np.array_equal(drawn[0], drawn[1])
+        assert not np.array_equal(drawn[1], drawn[2])
+
+    def test_seed_departure_pairs_do_not_collide(self):
+        # Regression: (seed=0, dep=900) used to reuse (seed=900, dep=0)'s
+        # stream — with time-invariant models the two sweeps returned
+        # bitwise-identical samples.
+        models = self._time_invariant_models()
+        a = departure_profile(models, [900.0], samples=300,
+                              seed=0)[900.0].samples_s
+        b = departure_profile(models, [0.0], samples=300,
+                              seed=900)[0.0].samples_s
+        assert not np.array_equal(a, b)
 
     def test_odm_conserves_trips(self):
         network = RoadNetwork(4, 4)

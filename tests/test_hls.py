@@ -126,6 +126,59 @@ class TestSynthesis:
         )
 
 
+class TestExecutorCrossCheck:
+    def test_flop_counts_agree_on_simple_kernel(self):
+        from repro.tensorpipe.codegen import count_flops
+
+        _, module = _affine_module(SIMPLE)
+        report = synthesize_kernel(module, "simple")
+        assert report.flops == count_flops(module.lookup("simple"))
+        assert report.flops == 32 * 2  # one mul nest + one add nest
+
+    def test_flop_counts_agree_on_reduction(self):
+        from repro.tensorpipe.codegen import count_flops
+
+        _, module = _affine_module(REDUCTION)
+        report = synthesize_kernel(module, "dotp")
+        assert report.flops == count_flops(module.lookup("dotp"))
+
+    def test_flop_counts_agree_on_fig3(self):
+        from repro.tensorpipe.codegen import count_flops
+
+        _, module = _affine_module(FIG3_MAJOR_ABSORBER)
+        report = synthesize_kernel(module, "tau_major")
+        assert report.flops > 0
+        assert report.flops == count_flops(module.lookup("tau_major"))
+
+    def test_cross_check_runs_and_reports(self):
+        import numpy as np
+
+        from repro.hls import cross_check_executor
+
+        _, module = _affine_module(SIMPLE)
+        report = synthesize_kernel(module, "simple")
+        rng = np.random.default_rng(0)
+        inputs = {"a": rng.normal(size=32), "b": rng.normal(size=32)}
+        check = cross_check_executor(report, module, "simple", inputs)
+        assert check.flops_match
+        assert check.measured_seconds > 0.0
+        assert check.estimated_seconds > 0.0
+        assert check.effective_gflops >= 0.0
+        assert "flops" in check.summary() and "ok" in check.summary()
+
+    def test_cross_check_rejects_zero_runs(self):
+        import numpy as np
+
+        from repro.hls import cross_check_executor
+
+        _, module = _affine_module(SIMPLE)
+        report = synthesize_kernel(module, "simple")
+        with pytest.raises(HLSError):
+            cross_check_executor(report, module, "simple",
+                                 {"a": np.zeros(32), "b": np.zeros(32)},
+                                 runs=0)
+
+
 class TestBackendEmission:
     def test_fsm_and_hw_emission_verify(self):
         _, module = _affine_module(SIMPLE)

@@ -234,9 +234,62 @@ class TestStageProtocol:
 
     def test_builtin_stage_names(self):
         names = PipelineSession().stages()
-        for expected in ("frontend-parse", "dialect-lowering", "hls",
-                         "olympus", "schedule"):
+        for expected in ("frontend-parse", "dialect-lowering", "execute",
+                         "hls", "olympus", "schedule"):
             assert expected in names
+
+
+class TestExecuteStage:
+    SOURCE = """
+    kernel scaled {
+      index i: 6
+      input a[i]: f64
+      output y
+      y = a * 3.0 + 1.0
+    }
+    """
+
+    def test_execute_runs_and_matches_interpreter(self):
+        import numpy as np
+
+        session = PipelineSession()
+        inputs = {"a": np.arange(6.0)}
+        result = session.execute(self.SOURCE, inputs)
+        assert result.backend == "compiled"
+        reference = session.execute(self.SOURCE, inputs,
+                                    backend="interpreter")
+        assert reference.backend == "interpreter"
+        np.testing.assert_array_equal(result.outputs["y"],
+                                      reference.outputs["y"])
+        np.testing.assert_array_equal(result.outputs["y"],
+                                      np.arange(6.0) * 3.0 + 1.0)
+
+    def test_compilation_cached_across_runs(self):
+        import numpy as np
+
+        session = PipelineSession()
+        session.execute(self.SOURCE, {"a": np.zeros(6)})
+        hits_before = session.cache.stats.hits
+        result = session.execute(self.SOURCE, {"a": np.ones(6)})
+        assert session.cache.stats.hits > hits_before
+        np.testing.assert_array_equal(result.outputs["y"], np.full(6, 4.0))
+
+    def test_run_time_recorded_as_aux_event(self):
+        import numpy as np
+
+        session = PipelineSession()
+        session.execute(self.SOURCE, {"a": np.zeros(6)})
+        names = [event.stage for event in session.report.events]
+        assert "execute" in names and "execute/run" in names
+
+    def test_backend_selects_distinct_cache_entries(self):
+        import numpy as np
+
+        session = PipelineSession()
+        compiled = session.execute(self.SOURCE, {"a": np.zeros(6)})
+        interp = session.execute(self.SOURCE, {"a": np.zeros(6)},
+                                 backend="interpreter")
+        assert compiled.key != interp.key
 
 
 class TestFailurePropagation:

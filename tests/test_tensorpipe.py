@@ -12,6 +12,7 @@ from repro.frontends.ekl.lower import lower_ekl_to_esn, lower_kernel_to_ekl
 from repro.ir import verify
 from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
 from repro.tensorpipe.affine_interp import run_affine
+from repro.tensorpipe.codegen import compile_affine
 
 
 def compile_to_affine(source):
@@ -35,6 +36,10 @@ def assert_compiled_matches_interpreted(source, inputs):
     for name in expected:
         np.testing.assert_allclose(got[name], expected[name], rtol=1e-12,
                                    atol=1e-12)
+    # The codegen backend must reproduce the interpreter bit-for-bit.
+    executed = compile_affine(module, kernel.name).run(inputs)
+    for name in expected:
+        np.testing.assert_array_equal(executed[name], got[name])
 
 
 class TestCrossValidation:

@@ -225,6 +225,57 @@ class TestBasecampCLI(object):
         out = capsys.readouterr().out
         assert "design space" in out and "selected:" in out
 
+    SMALL_KERNEL = """
+    kernel small {
+      index i: 4
+      input a[i]: f64
+      output y
+      y = a * 2.0
+    }
+    """
+
+    def test_run_with_npy_inputs(self, tmp_path, capsys):
+        source = tmp_path / "k.ekl"
+        source.write_text(self.SMALL_KERNEL)
+        data = tmp_path / "a.npy"
+        np.save(data, np.arange(4.0))
+        assert main(["run", str(source), "--input", f"a={data}"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=compiled" in out
+        assert "y: shape=(4,)" in out
+        assert "0." in out and "6." in out  # [0, 2, 4, 6]
+
+    def test_run_with_random_inputs_and_time(self, tmp_path, capsys):
+        source = tmp_path / "k.ekl"
+        source.write_text(FIG3_MAJOR_ABSORBER)
+        assert main(["run", str(source), "--random-seed", "0",
+                     "--time"]) == 0
+        out = capsys.readouterr().out
+        assert "tau_abs" in out
+        assert "run time" in out and "x" in out
+
+    def test_run_interpreter_backend(self, tmp_path, capsys):
+        source = tmp_path / "k.ekl"
+        source.write_text(self.SMALL_KERNEL)
+        assert main(["run", str(source), "--random-seed", "3",
+                     "--backend", "interpreter"]) == 0
+        assert "backend=interpreter" in capsys.readouterr().out
+
+    def test_run_missing_input_is_an_error(self, tmp_path, capsys):
+        source = tmp_path / "k.ekl"
+        source.write_text(self.SMALL_KERNEL)
+        assert main(["run", str(source)]) == 1
+        assert "missing input" in capsys.readouterr().err
+
+    def test_run_unknown_input_name_rejected(self, tmp_path, capsys):
+        source = tmp_path / "k.ekl"
+        source.write_text(self.SMALL_KERNEL)
+        data = tmp_path / "b.npy"
+        np.save(data, np.arange(4.0))
+        assert main(["run", str(source), "--random-seed", "0",
+                     "--input", f"b={data}"]) == 1
+        assert "unknown --input" in capsys.readouterr().err
+
     def test_dialects_graph(self, capsys):
         assert main(["dialects"]) == 0
         out = capsys.readouterr().out

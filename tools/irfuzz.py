@@ -194,6 +194,188 @@ def generate_module(seed: int) -> Module:
     return module
 
 
+# -- executable-kernel fuzzing (differential executor validation) -----------
+#
+# ``generate_ekl_case(seed)`` builds a random — but well-typed and
+# numerically tame — EKL kernel plus matching inputs.  The kernels cover
+# elementwise arithmetic (with denominators bounded away from zero),
+# broadcasting over named axes, min/max, transcendentals on bounded
+# arguments, select/compare, reductions and gather subscripts with
+# in-range indices.  ``check_executor(seed)`` then compiles the kernel at
+# opt levels 0/1/2 and requires the compiled executor
+# (:mod:`repro.tensorpipe.codegen`) to agree *bit-for-bit* with
+# :class:`~repro.tensorpipe.affine_interp.AffineInterpreter`, and both to
+# agree with the EKL interpreter (language semantics) to tolerance.
+
+_AXIS_NAMES = ("i", "j", "k")
+_TABLE_EXTENT = 11
+
+
+def _pick_axes(rng: random.Random, axes: List[str]) -> List[str]:
+    count = rng.randrange(0, len(axes) + 1)
+    return sorted(rng.sample(axes, count))
+
+
+def generate_ekl_case(seed: int):
+    """A random executable EKL kernel; returns ``(source, inputs)``."""
+    import numpy as np
+
+    rng = random.Random(seed)
+    nprng = np.random.default_rng(seed)
+    axes = list(_AXIS_NAMES[: rng.randrange(1, 4)])
+    extents = {axis: rng.randrange(2, 7) for axis in axes}
+
+    decls: List[str] = [
+        "  index " + ", ".join(f"{a}: {extents[a]}" for a in axes)
+    ]
+    inputs = {}
+    # Expression pool: (source fragment, axes the value ranges over).
+    pool: List[tuple] = []
+    for n in range(rng.randrange(2, 5)):
+        name = f"in{n}"
+        in_axes = _pick_axes(rng, axes)
+        shape = tuple(extents[a] for a in in_axes)
+        if in_axes:
+            decls.append(
+                f"  input {name}[{', '.join(in_axes)}]: f64")
+        else:
+            decls.append(f"  input {name}: f64")
+        # Bounded away from zero and modest in magnitude: safe as a
+        # denominator after abs()+0.5, safe under exp() of sums.
+        inputs[name] = nprng.uniform(0.5, 2.0, shape) if shape \
+            else np.asarray(nprng.uniform(0.5, 2.0))
+        pool.append((name, tuple(in_axes)))
+    use_gather = rng.random() < 0.5
+    if use_gather:
+        gather_axes = _pick_axes(rng, axes) or [axes[0]]
+        shape = tuple(extents[a] for a in gather_axes)
+        decls.append(f"  input table[{_TABLE_EXTENT}]: f64")
+        decls.append(f"  input idx[{', '.join(gather_axes)}]: i64")
+        inputs["table"] = nprng.uniform(-1.0, 1.0, _TABLE_EXTENT)
+        inputs["idx"] = nprng.integers(0, _TABLE_EXTENT - 1, shape)
+    decls.append("  output out")
+
+    statements: List[str] = []
+
+    def subexpr() -> tuple:
+        return rng.choice(pool)
+
+    def fresh_statement(n: int) -> tuple:
+        kind = rng.randrange(10)
+        if kind < 3:
+            (a, ax_a), (b, ax_b) = subexpr(), subexpr()
+            op = rng.choice(["+", "-", "*"])
+            return f"{a} {op} {b}", tuple(sorted(set(ax_a) | set(ax_b)))
+        if kind == 3:
+            (a, ax_a), (b, ax_b) = subexpr(), subexpr()
+            return (f"{a} / (abs({b}) + 0.5)",
+                    tuple(sorted(set(ax_a) | set(ax_b))))
+        if kind == 4:
+            (a, ax_a), (b, ax_b) = subexpr(), subexpr()
+            fn = rng.choice(["min", "max"])
+            return (f"{fn}({a}, {b})",
+                    tuple(sorted(set(ax_a) | set(ax_b))))
+        if kind == 5:
+            a, ax = subexpr()
+            fn = rng.choice(["tanh", "sin", "cos", "abs"])
+            return f"{fn}({a})", ax
+        if kind == 6:
+            a, ax = subexpr()
+            # exp/sqrt on bounded arguments only (no overflow, no NaN).
+            return rng.choice([f"exp(sin({a}))",
+                               f"sqrt(abs(cos({a})) + 0.5)"]), ax
+        if kind == 7:
+            (c1, ax_1), (c2, ax_2) = subexpr(), subexpr()
+            (a, ax_a), (b, ax_b) = subexpr(), subexpr()
+            cmp = rng.choice(["<=", "<", ">=", ">"])
+            union = set(ax_1) | set(ax_2) | set(ax_a) | set(ax_b)
+            return (f"select({c1} {cmp} {c2}, {a}, {b})",
+                    tuple(sorted(union)))
+        if kind == 8:
+            a, ax = subexpr()
+            if not ax:
+                return f"{a} * {rng.choice(['2.0', '0.5', '1.25'])}", ax
+            axis = rng.choice(list(ax))
+            return (f"sum[{axis}]({a})",
+                    tuple(x for x in ax if x != axis))
+        if use_gather and rng.random() < 0.7:
+            # idx values are bounded by _TABLE_EXTENT - 1, so "+ 1" stays
+            # in range.
+            offset = rng.choice(["", " + 1"])
+            return f"table[idx{offset}]", tuple(gather_axes)
+        a, ax = subexpr()
+        return f"{a} + {rng.uniform(-2.0, 2.0):.6g}", ax
+
+    for n in range(rng.randrange(2, 6)):
+        expr, expr_axes = fresh_statement(n)
+        name = f"t{n}"
+        statements.append(f"  {name} = {expr}")
+        pool.append((name, expr_axes))
+    out_expr, _ = pool[-1]
+    statements.append(f"  out = {out_expr}")
+
+    body = "\n".join(decls + statements)
+    source = f"kernel fuzz_{seed} {{\n{body}\n}}\n"
+    return source, inputs
+
+
+def check_executor(seed: int) -> None:
+    """Differential executor check for one seed; raises on violation.
+
+    The compiled backend must match the affine interpreter bit-for-bit
+    at opt levels 0, 1 and 2, and both must match the EKL interpreter's
+    language semantics to float64 tolerance (the EKL interpreter sums
+    with numpy pairwise reduction, so bitwise equality is not expected
+    there).
+    """
+    import numpy as np
+
+    from repro.frontends.ekl import Interpreter, parse_kernel
+    from repro.frontends.ekl.lower import (
+        lower_ekl_to_esn,
+        lower_kernel_to_ekl,
+    )
+    from repro.ir import CanonicalizePass, InlinePass
+    from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+    from repro.tensorpipe.affine_interp import run_affine
+    from repro.tensorpipe.codegen import compile_affine
+
+    source, inputs = generate_ekl_case(seed)
+    kernel = parse_kernel(source)
+    expected = Interpreter(kernel).run(inputs)
+    raw = lower_teil_to_affine(
+        lower_esn_to_teil(
+            lower_ekl_to_esn(lower_kernel_to_ekl(kernel),
+                             canonicalize=False),
+            canonicalize=False,
+        ),
+        canonicalize=False,
+    )
+    verify(raw)
+    for opt_level in (0, 1, 2):
+        module = raw if opt_level == 0 else raw.clone()
+        if opt_level >= 2:
+            InlinePass().run(module)
+        if opt_level >= 1:
+            CanonicalizePass().run(module)
+        interpreted = run_affine(module, kernel.name, inputs)
+        compiled = compile_affine(module, kernel.name)
+        if compiled.backend != "compiled":
+            raise AssertionError(
+                f"seed {seed}: fell back to the interpreter at "
+                f"-O{opt_level}\n{source}")
+        got = compiled.run(inputs)
+        for name, value in interpreted.items():
+            if not np.array_equal(got[name], value):
+                raise AssertionError(
+                    f"seed {seed}: compiled != interpreted for {name!r} "
+                    f"at -O{opt_level}\n{source}")
+            np.testing.assert_allclose(
+                got[name], expected[name], rtol=1e-7, atol=1e-9,
+                err_msg=f"seed {seed}: executor disagrees with the EKL "
+                        f"interpreter for {name!r} at -O{opt_level}")
+
+
 def check_roundtrip(seed: int) -> None:
     """Assert the two fuzz properties for one seed; raises on violation."""
     module = generate_module(seed)
@@ -211,21 +393,28 @@ def check_roundtrip(seed: int) -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="roundtrip-fuzz the IR printer/parser/verifier")
+        description="fuzz the IR printer/parser/verifier (roundtrip mode) "
+                    "or the compiled affine executor (exec mode)")
     parser.add_argument("--count", type=int, default=200,
                         help="number of seeds to run")
     parser.add_argument("--start", type=int, default=0,
                         help="first seed")
+    parser.add_argument("--mode", choices=["roundtrip", "exec"],
+                        default="roundtrip",
+                        help="roundtrip: print->parse->print fixpoint; "
+                             "exec: compiled executor vs. interpreter "
+                             "differential")
     args = parser.parse_args(argv)
+    check = check_roundtrip if args.mode == "roundtrip" else check_executor
     failures = 0
     for seed in range(args.start, args.start + args.count):
         try:
-            check_roundtrip(seed)
+            check(seed)
         except Exception as error:  # pragma: no cover - campaign reporting
             failures += 1
             print(f"seed {seed}: FAIL: {error}", file=sys.stderr)
-    print(f"irfuzz: {args.count - failures}/{args.count} seeds ok "
-          f"(seeds {args.start}..{args.start + args.count - 1})")
+    print(f"irfuzz[{args.mode}]: {args.count - failures}/{args.count} "
+          f"seeds ok (seeds {args.start}..{args.start + args.count - 1})")
     return 1 if failures else 0
 
 
