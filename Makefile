@@ -2,22 +2,28 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-runtime bench-ir bench-exec fuzz-smoke \
-	coverage docs-check examples lint all
+	fuzz-runtime-smoke fuzz-runtime coverage docs-check examples lint all
 
 all: test docs-check
 
 test: lint
 	$(PYTHON) -m pytest -x -q tests
 	$(MAKE) fuzz-smoke
+	$(MAKE) fuzz-runtime-smoke
 	$(MAKE) bench-ir
 	$(MAKE) bench-exec
+	$(MAKE) bench-runtime
 
 # bench_*.py does not match pytest's default file glob; list explicitly.
 bench-smoke:
 	$(PYTHON) -m pytest -x -q --benchmark-disable benchmarks/bench_*.py
 
 # The runtime-engine benchmark records its numbers (timeline-index
-# speedup, per-policy makespans) in BENCH_runtime_engine.json.
+# speedup, per-policy makespans, incremental-HEFT scaling) in
+# BENCH_runtime_engine.json.  The scale test runs at a reduced size by
+# default, asserting a wall-clock budget so scaling regressions fail
+# loudly; BENCH_SCALE_FULL=1 re-runs the headline 100k-task /
+# 1,000-node measurement (several minutes of baseline scan).
 bench-runtime:
 	$(PYTHON) -m pytest -x -q --benchmark-disable \
 		benchmarks/bench_runtime_engine.py \
@@ -45,6 +51,16 @@ bench-exec:
 fuzz-smoke:
 	$(PYTHON) tools/irfuzz.py --count 20
 	$(PYTHON) tools/irfuzz.py --mode exec --count 20
+
+# Runtime-engine workload fuzzing: random DAGs + streamed arrivals +
+# failure injection through every policy, checked against the scheduler
+# invariant suite (the 200-seed tier runs inside `pytest tests`;
+# `make fuzz-runtime` goes deeper).
+fuzz-runtime-smoke:
+	$(PYTHON) tools/workloadfuzz.py --count 60
+
+fuzz-runtime:
+	$(PYTHON) tools/workloadfuzz.py --count 1000
 
 # Line coverage over the package; tolerates a container without
 # pytest-cov (prints a hint), but a real test failure still fails the

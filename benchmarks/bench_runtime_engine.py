@@ -11,10 +11,19 @@ Two records, written to ``BENCH_runtime_engine.json`` at the repo root
   faster;
 * ``policies`` — makespan and wall time of every registered policy
   driving the :class:`~repro.runtime.engine.RuntimeEngine` on a shared
-  workload.
+  workload;
+* ``scale`` / ``scale_smoke`` — incremental HEFT placement
+  (:mod:`repro.runtime.placement`) against the exhaustive per-node scan
+  on a cluster-scale graph, with a wall-clock budget so scaling
+  regressions fail loudly.  The default run uses a reduced scale that
+  fits in ``make test``; set ``BENCH_SCALE_FULL=1`` for the full
+  100k-task / 1,000-node measurement (several minutes of baseline), or
+  override ``BENCH_SCALE_TASKS`` / ``BENCH_SCALE_NODES`` /
+  ``BENCH_SCALE_BUDGET`` individually.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import List, Tuple
@@ -36,6 +45,18 @@ _TIMELINE_TASKS = 2000
 _TIMELINE_NODES = 16
 _POLICY_TASKS = 300
 _POLICY_NODES = 4
+
+_SCALE_FULL = os.environ.get("BENCH_SCALE_FULL") == "1"
+_SCALE_TASKS = int(os.environ.get(
+    "BENCH_SCALE_TASKS", "100000" if _SCALE_FULL else "4000"))
+_SCALE_NODES = int(os.environ.get(
+    "BENCH_SCALE_NODES", "1000" if _SCALE_FULL else "200"))
+_SCALE_BUDGET = float(os.environ.get(
+    "BENCH_SCALE_BUDGET", "240" if _SCALE_FULL else "30"))
+_SCALE_MIN_SPEEDUP = 10.0 if _SCALE_FULL else 3.0
+_SCALE_SEED = 7
+# Incremental-only scaling curve, recorded alongside the full run.
+_SCALE_CURVE = (20000, 60000, 100000)
 
 
 class _SeedNodeTimeline:
@@ -140,6 +161,80 @@ def test_timeline_index_speedup_on_2000_task_graph():
           f"event-sweep index {indexed_seconds:.3f}s "
           f"({speedup:.0f}x); HEFT+index {heft_seconds:.3f}s")
     assert speedup >= 5.0
+
+
+def _same_schedule(left, right) -> bool:
+    if set(left.placements) != set(right.placements):
+        return False
+    for tid, placement in left.placements.items():
+        other = right.placements[tid]
+        if (placement.node, placement.start, placement.finish) \
+                != (other.node, other.start, other.finish):
+            return False
+    return abs(left.transfers_seconds - right.transfers_seconds) < 1e-9
+
+
+def test_scale_incremental_heft():
+    """Cluster-scale HEFT: incremental placement vs the exhaustive scan.
+
+    The incremental placer must finish inside the wall-clock budget and
+    produce bitwise-identical placements to the per-node scan, at a
+    ≥``_SCALE_MIN_SPEEDUP``x speedup.  ``BENCH_SCALE_FULL=1`` runs the
+    headline 100k-task / 1,000-node measurement and additionally records
+    an incremental-only scaling curve.
+    """
+    builder = _GraphBuilder()
+    synthetic_workflow(builder, n_tasks=_SCALE_TASKS, seed=_SCALE_SEED)
+    graph = builder.graph
+    cluster = default_cluster(_SCALE_NODES)
+
+    inc_seconds, inc_schedule = _timed_schedule(
+        HEFTScheduler(), graph, cluster)
+    assert len(inc_schedule.placements) == _SCALE_TASKS
+    assert inc_seconds <= _SCALE_BUDGET, (
+        f"incremental HEFT took {inc_seconds:.1f}s at "
+        f"{_SCALE_TASKS} tasks / {_SCALE_NODES} nodes "
+        f"(budget {_SCALE_BUDGET:.0f}s)")
+
+    base_seconds, base_schedule = _timed_schedule(
+        HEFTScheduler(incremental=False), graph, cluster)
+    identical = _same_schedule(inc_schedule, base_schedule)
+    assert identical, "incremental HEFT diverged from the baseline scan"
+    speedup = base_seconds / inc_seconds
+
+    payload = {
+        "tasks": _SCALE_TASKS,
+        "nodes": _SCALE_NODES,
+        "seed": _SCALE_SEED,
+        "incremental_seconds": round(inc_seconds, 2),
+        "baseline_seconds": round(base_seconds, 2),
+        "speedup": round(speedup, 1),
+        "placements_identical": identical,
+        "makespan_seconds": round(inc_schedule.makespan, 2),
+        "budget_seconds": _SCALE_BUDGET,
+    }
+    if _SCALE_FULL:
+        curve = []
+        for n_tasks in _SCALE_CURVE:
+            if n_tasks == _SCALE_TASKS:
+                curve.append({"tasks": n_tasks,
+                              "incremental_seconds":
+                              round(inc_seconds, 2)})
+                continue
+            point = _GraphBuilder()
+            synthetic_workflow(point, n_tasks=n_tasks, seed=_SCALE_SEED)
+            seconds, schedule = _timed_schedule(
+                HEFTScheduler(), point.graph, cluster)
+            assert len(schedule.placements) == n_tasks
+            curve.append({"tasks": n_tasks,
+                          "incremental_seconds": round(seconds, 2)})
+        payload["curve_nodes"] = _SCALE_NODES
+        payload["curve"] = curve
+    _record("scale" if _SCALE_FULL else "scale_smoke", payload)
+    print(f"\n  {_SCALE_TASKS}-task/{_SCALE_NODES}-node HEFT: "
+          f"incremental {inc_seconds:.1f}s, scan {base_seconds:.1f}s "
+          f"({speedup:.1f}x), identical={identical}")
+    assert speedup >= _SCALE_MIN_SPEEDUP
 
 
 def test_policy_suite_through_engine():

@@ -79,6 +79,10 @@ class RuntimeEngine:
         self.rescheduled_tasks = 0
         self._events = EventQueue()
         self._state: Dict[int, str] = {}
+        # Live PENDING set (state == PENDING ⟺ membership), so dispatch
+        # and the stuck-check never rescan the full task table — at 100k
+        # streamed tasks that rescan is itself O(tasks²).
+        self._pending: Set[int] = set()
         self._epoch: Dict[int, int] = {}
         self._real: Dict[int, PoolFuture] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -117,6 +121,7 @@ class RuntimeEngine:
                                 tuning, name)
         tid = future.task_id
         self._state[tid] = PENDING
+        self._pending.add(tid)
         self._epoch[tid] = 0
         self._unfinished += 1
         blockers = 0
@@ -186,8 +191,7 @@ class RuntimeEngine:
             self._running = False
         if until is None:
             stuck = [self.graph.tasks[tid].name
-                     for tid, state in sorted(self._state.items())
-                     if state == PENDING]
+                     for tid in sorted(self._pending)]
             if stuck:
                 raise RuntimeSchedulingError(
                     f"tasks never became dispatchable (cycle or "
@@ -263,12 +267,10 @@ class RuntimeEngine:
 
     def _dispatch_offline(self, now: float) -> None:
         """Plan the whole pending subgraph with the offline policy."""
-        pending_set = {tid for tid, state in self._state.items()
-                       if state == PENDING}
-        if not pending_set:
+        if not self._pending:
             return
         subgraph, id_map, ready = build_replan_subgraph(
-            self.graph, pending_set, now, self._finish_of,
+            self.graph, set(self._pending), now, self._finish_of,
         )
         # Plan into scratch copies so a plan that raises partway (e.g.
         # an unplaceable FPGA task) leaves the live timelines untouched;
@@ -320,6 +322,7 @@ class RuntimeEngine:
         )
         self.placements[tid] = placement
         self._state[tid] = PLACED
+        self._pending.discard(tid)
         self._events.push(placement.start, ev.TASK_START,
                           (tid, self._epoch[tid]))
 
@@ -375,16 +378,19 @@ class RuntimeEngine:
             if placement.node == name and placement.finish > now \
                     and self._state.get(tid) in (PLACED, RUNNING):
                 lost.add(tid)
-        changed = True
-        while changed:
-            changed = False
-            for task in self.graph.tasks.values():
-                tid = task.task_id
-                if tid in lost or self._state.get(tid) in (DONE, PENDING):
+        # Transitive closure over the dependent index (every non-DONE
+        # dependency edge is registered there at submit time, and DONE
+        # is permanent, so the index covers every edge a loss can travel
+        # along) — BFS instead of a whole-graph fixpoint scan.
+        frontier = list(lost)
+        while frontier:
+            tid = frontier.pop()
+            for dependent in self._dependents.get(tid, ()):
+                if dependent in lost \
+                        or self._state.get(dependent) in (DONE, PENDING):
                     continue
-                if any(d in lost for d in task.deps):
-                    lost.add(tid)
-                    changed = True
+                lost.add(dependent)
+                frontier.append(dependent)
         for tid in lost:
             placement = self.placements.pop(tid)
             self.timelines[placement.node].release(
@@ -394,6 +400,7 @@ class RuntimeEngine:
             # result is discarded; the replacement reruns the function.
             self._real.pop(tid, None)
             self._state[tid] = PENDING
+            self._pending.add(tid)
             self._epoch[tid] += 1
         for tid in lost:
             blockers = sum(1 for d in self.graph.tasks[tid].deps

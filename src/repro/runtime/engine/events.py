@@ -9,6 +9,15 @@ fixed kind priority so the semantics match the offline resource manager:
   ``finish <= failure_time`` results);
 * failures are detected before new work is dispatched or started;
 * heartbeats observe the state *after* everything else at ``t`` happened.
+
+Within one ``(time, kind)`` bucket a monotone sequence number decides,
+so the queue is a **deterministic total order**: two events can never
+compare equal, and same-kind events at the same timestamp pop in push
+order regardless of heap internals.  This is what makes streaming
+``submit_at`` calls with identical timestamps execute in submission
+order (their callbacks fire in push order, and each submission lands in
+the task graph — and the ready queue — before the next callback runs),
+and it is why a fuzzer re-running a seed sees the identical schedule.
 """
 
 from __future__ import annotations

@@ -150,6 +150,12 @@ def resolve_policy(policy: Union[None, str, SchedulingPolicy]
                 f"available: {', '.join(sorted(POLICIES))}"
             )
         return POLICIES[policy]()
+    if isinstance(policy, type):
+        # A policy *class* (e.g. straight out of the POLICIES registry,
+        # or ``RuntimeEngine(cluster, policy=HEFTScheduler)``): it would
+        # pass the duck-type checks below — ``schedule`` is a function
+        # attribute — and then crash on the first unbound call.
+        return resolve_policy(policy())
     if not hasattr(policy, "schedule"):
         raise RuntimeSchedulingError(
             f"{type(policy).__name__} does not implement SchedulingPolicy"

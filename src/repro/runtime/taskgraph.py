@@ -108,23 +108,33 @@ class TaskGraph:
         return Future(self, task_id)
 
     def topological_order(self) -> List[Task]:
+        # Iterative post-order DFS (same order a recursive visit would
+        # produce) — a 100k-task dependency chain must not hit the
+        # interpreter recursion limit.  States: absent = unvisited,
+        # 1 = on the current DFS path, 2 = emitted.
         order: List[Task] = []
         visited: Dict[int, int] = {}
-
-        def visit(task_id: int) -> None:
-            state = visited.get(task_id, 0)
-            if state == 1:
-                raise RuntimeSchedulingError("task graph has a cycle")
-            if state == 2:
-                return
-            visited[task_id] = 1
-            for dep in self.tasks[task_id].deps:
-                visit(dep)
-            visited[task_id] = 2
-            order.append(self.tasks[task_id])
-
-        for task_id in list(self.tasks):
-            visit(task_id)
+        for root in list(self.tasks):
+            if visited.get(root, 0) == 2:
+                continue
+            visited[root] = 1
+            stack = [(root, iter(self.tasks[root].deps))]
+            while stack:
+                task_id, deps = stack[-1]
+                for dep in deps:
+                    state = visited.get(dep, 0)
+                    if state == 1:
+                        raise RuntimeSchedulingError(
+                            "task graph has a cycle")
+                    if state == 2:
+                        continue
+                    visited[dep] = 1
+                    stack.append((dep, iter(self.tasks[dep].deps)))
+                    break
+                else:
+                    visited[task_id] = 2
+                    order.append(self.tasks[task_id])
+                    stack.pop()
         return order
 
     def execute_functionally(self) -> None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right, insort
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import RuntimeSchedulingError
 
@@ -34,17 +34,26 @@ class NodeTimeline:
     Invariants: ``_times`` is sorted and unique; ``_levels[i]`` is the
     number of cores in use over ``[_times[i], _times[i+1])`` (the last
     segment extends to infinity and always has level 0, because every
-    committed interval eventually ends).
+    committed interval eventually ends); adjacent segments always have
+    *different* levels (redundant breakpoints are coalesced away, so the
+    index cannot grow without bound under commit/release churn).
+
+    ``version`` increments on every :meth:`commit`/:meth:`release`; the
+    incremental HEFT placer (:mod:`repro.runtime.placement`) uses it to
+    invalidate cached per-node placement bounds without re-reading every
+    timeline on every query.
     """
 
     def __init__(self, node):
         self.node = node
+        self.version = 0
         self.intervals: List[Tuple[float, float, int]] = []
         self._times: List[float] = []
         self._levels: List[int] = []
         # Commitments sorted by end time, so load_after() can bisect to
         # the still-outstanding suffix instead of scanning history.
         self._by_end: List[Tuple[float, float, int]] = []
+        self._fit_cache: Dict[int, Tuple[int, float]] = {}
 
     def _ensure_breakpoint(self, t: float) -> int:
         """Index of the breakpoint at ``t``, splitting a segment if needed."""
@@ -107,8 +116,33 @@ class NodeTimeline:
                 return start
             i += 1
 
+    def first_fit(self, cores: int) -> float:
+        """Earliest ``t >= 0`` with ``cores`` cores free *at* ``t``.
+
+        A zero-duration feasibility bound: any start feasible for a real
+        window is feasible at its first instant, so
+        ``max(ready, first_fit(cores)) <= earliest_start(ready, d, cores)``
+        for every ``ready >= 0`` and duration.  The incremental HEFT
+        placer orders candidate nodes by this bound.  Cached per core
+        count; a commit/release bumps :attr:`version`, invalidating it.
+        """
+        cached = self._fit_cache.get(cores)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        capacity = self.node.cores
+        fit = 0.0
+        if self._times and self._times[0] <= 0.0:
+            n = len(self._times)
+            i = bisect_right(self._times, 0.0) - 1
+            while i < n and self._levels[i] + cores > capacity:
+                i += 1
+            fit = self._times[i] if i < n else self._times[-1]
+        self._fit_cache[cores] = (self.version, fit)
+        return fit
+
     def commit(self, start: float, duration: float, cores: int) -> None:
         end = start + duration
+        self.version += 1
         self.intervals.append((start, end, cores))
         insort(self._by_end, (end, start, cores))
         self._apply(start, end, cores)
@@ -123,6 +157,7 @@ class NodeTimeline:
                 f"no committed interval ({start}, {end}, {cores}) on "
                 f"node {self.node.name!r}"
             ) from None
+        self.version += 1
         self._by_end.remove((end, start, cores))
         self._apply(start, end, -cores)
 
@@ -133,14 +168,25 @@ class NodeTimeline:
         i1 = self._ensure_breakpoint(end)
         for i in range(i0, i1):
             self._levels[i] += cores
+        # Coalesce breakpoints made redundant by this update — a segment
+        # whose level now equals its predecessor's, or a leading segment
+        # at the implicit level 0.  Without this, commit/release churn
+        # (mid-run failure recovery) leaves stale breakpoints behind and
+        # the index drifts away from a freshly-built timeline.
+        for i in range(min(i1, len(self._times) - 1), i0 - 1, -1):
+            if self._levels[i] == (self._levels[i - 1] if i > 0 else 0):
+                del self._times[i]
+                del self._levels[i]
 
     def clone(self) -> "NodeTimeline":
         """An independent copy (scratch planning that may be discarded)."""
         copy = NodeTimeline(self.node)
+        copy.version = self.version
         copy.intervals = list(self.intervals)
         copy._times = list(self._times)
         copy._levels = list(self._levels)
         copy._by_end = list(self._by_end)
+        copy._fit_cache = dict(self._fit_cache)
         return copy
 
     def load_after(self, now: float) -> float:

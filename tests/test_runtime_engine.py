@@ -426,3 +426,260 @@ class TestFailureHandling:
         schedule = engine.run()
         assert schedule.rescheduled_tasks > 0
         assert all(f.task_id in engine.graph.results for f in finals)
+
+
+class TestTimelineCoalescing:
+    """Regression: commit/release churn must not leave stale breakpoints
+    (they skewed ``load_after`` and bloated every later query)."""
+
+    def _snapshot(self, timeline):
+        return (list(timeline._times), list(timeline._levels))
+
+    def test_release_cycles_return_to_pristine_index(self):
+        node = Node(name="n", cores=8, fpgas=[])
+        timeline = NodeTimeline(node)
+        timeline.commit(0.0, 10.0, 2)
+        pristine = self._snapshot(timeline)
+        for i in range(50):
+            start = 1.0 + (i % 7)
+            timeline.commit(start, 3.0, 3)
+            timeline.commit(start + 0.5, 1.0, 2)
+            timeline.release(start + 0.5, 1.0, 2)
+            timeline.release(start, 3.0, 3)
+        assert self._snapshot(timeline) == pristine
+        assert timeline.load_after(0.0) == pytest.approx(20.0)
+
+    def test_interleaved_churn_matches_fresh_rebuild(self):
+        import random
+
+        rng = random.Random(5)
+        node = Node(name="n", cores=16, fpgas=[])
+        timeline = NodeTimeline(node)
+        live = []
+        for _ in range(300):
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                timeline.release(*victim)
+            else:
+                interval = (round(rng.uniform(0, 50), 2),
+                            round(rng.uniform(0.1, 9), 2),
+                            rng.randint(1, 6))
+                timeline.commit(*interval)
+                live.append(interval)
+        rebuilt = NodeTimeline(node)
+        for interval in live:
+            rebuilt.commit(*interval)
+        assert timeline._times == rebuilt._times
+        assert timeline._levels == rebuilt._levels
+        assert timeline.load_after(10.0) \
+            == pytest.approx(rebuilt.load_after(10.0))
+
+
+class TestEventDeterminism:
+    """Identical timestamps must resolve deterministically (push order
+    within a kind, kind priority across kinds)."""
+
+    def test_event_queue_pops_same_kind_in_push_order(self):
+        from repro.runtime.engine.events import CALLBACK, EventQueue
+
+        queue = EventQueue()
+        for i in range(20):
+            queue.push(1.0, CALLBACK, i)
+        assert [queue.pop().payload for _ in range(20)] == list(range(20))
+
+    def test_event_queue_orders_kinds_at_equal_time(self):
+        from repro.runtime.engine import events as ev
+        from repro.runtime.engine.events import EventQueue
+
+        queue = EventQueue()
+        queue.push(1.0, ev.HEARTBEAT)
+        queue.push(1.0, ev.TASK_START, (0, 0))
+        queue.push(1.0, ev.TASK_FINISH, (0, 0))
+        kinds = [queue.pop().kind for _ in range(3)]
+        assert kinds == [ev.TASK_FINISH, ev.TASK_START, ev.HEARTBEAT]
+
+    def test_submit_at_identical_timestamps_run_in_submission_order(self):
+        engine = RuntimeEngine(default_cluster(1), policy="min-load")
+        seen = []
+        for i in range(8):
+            engine.submit_at(1.0, lambda i=i: seen.append(i))
+        engine.run()
+        assert seen == list(range(8))
+        # Replay gives the identical schedule.
+        again = RuntimeEngine(default_cluster(1), policy="min-load")
+        replay = []
+        for i in range(8):
+            again.submit_at(1.0, lambda i=i: replay.append(i))
+        second = again.run()
+        assert replay == seen
+        first = engine.schedule_result()
+        assert {t: (p.node, p.start, p.finish)
+                for t, p in first.placements.items()} \
+            == {t: (p.node, p.start, p.finish)
+                for t, p in second.placements.items()}
+
+
+class TestPolicyEdgeCases:
+    def test_empty_graph_runs_to_empty_schedule(self):
+        for policy in sorted(POLICIES):
+            engine = RuntimeEngine(default_cluster(2), policy=policy)
+            schedule = engine.run()
+            assert schedule.placements == {}
+            assert schedule.makespan == 0.0
+
+    def test_single_node_cluster_serializes_wide_tasks(self):
+        cluster = Cluster([Node(name="only", cores=4, fpgas=[])])
+        for policy in sorted(POLICIES):
+            engine = RuntimeEngine(cluster, policy=policy)
+            futs = [engine.submit(lambda i=i: i,
+                                  resources=ResourceRequest(cores=4))
+                    for i in range(3)]
+            schedule = engine.run()
+            assert len(engine.graph.results) == 3
+            starts = sorted((schedule.placements[f.task_id].start,
+                             schedule.placements[f.task_id].finish)
+                            for f in futs)
+            for (s0, f0), (s1, f1) in zip(starts, starts[1:]):
+                assert s1 >= f0 - 1e-9  # 4-core tasks cannot overlap
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_all_nodes_failed_mid_run_raises(self, policy):
+        engine = RuntimeEngine(default_cluster(2), policy=policy)
+        synthetic_workflow(engine, n_tasks=40, seed=3)
+        horizon = engine.run(until=0.0).makespan or 1.0
+        engine.fail_node_at(horizon * 0.1, "node0")
+        engine.fail_node_at(horizon * 0.1, "node1")
+        with pytest.raises(RuntimeSchedulingError):
+            engine.run()
+
+    def test_task_requesting_exactly_node_cores(self):
+        node = Node(name="full", cores=32, fpgas=[])
+        cluster = Cluster([node])
+        for policy in sorted(POLICIES):
+            engine = RuntimeEngine(cluster, policy=policy)
+            a = engine.submit(lambda: 1,
+                              resources=ResourceRequest(cores=32))
+            b = engine.submit(lambda x: x + 1, a,
+                              resources=ResourceRequest(cores=32))
+            schedule = engine.run()
+            assert engine.graph.results[b.task_id] == 2
+            pa, pb = (schedule.placements[a.task_id],
+                      schedule.placements[b.task_id])
+            assert pb.start >= pa.finish - 1e-9
+
+    def test_min_load_empty_batch_schedule(self):
+        from repro.runtime.taskgraph import TaskGraph
+
+        result = MinLoadPolicy().schedule(TaskGraph(), default_cluster(2))
+        assert result.placements == {}
+
+    def test_resolve_policy_accepts_a_class(self):
+        assert isinstance(resolve_policy(HEFTScheduler), HEFTScheduler)
+        assert isinstance(resolve_policy(MinLoadPolicy), MinLoadPolicy)
+        engine = RuntimeEngine(default_cluster(1), policy=MinLoadPolicy)
+        engine.submit(lambda: 7)
+        engine.run()
+        assert list(engine.graph.results.values()) == [7]
+
+
+class TestTaskGraphScale:
+    def test_deep_chain_toposort_is_iterative(self):
+        """A 5,000-task chain must not hit the recursion limit."""
+        import sys
+
+        from repro.runtime.taskgraph import TaskGraph
+
+        graph = TaskGraph()
+        prev = []
+        for i in range(5000):
+            prev = [graph.add(lambda: None, tuple(prev), {}, None, 0,
+                              None, None)]
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(120)
+            order = graph.topological_order()
+        finally:
+            sys.setrecursionlimit(limit)
+        ids = [t.task_id for t in order]
+        assert ids == sorted(ids)  # chain: dependency order == id order
+
+    def test_toposort_cycle_detected(self):
+        from repro.runtime.taskgraph import TaskGraph
+
+        graph = TaskGraph()
+        a = graph.add(lambda: None, (), {}, None, 0, None, None)
+        b = graph.add(lambda: None, (a,), {}, None, 0, None, None)
+        graph.tasks[a.task_id].deps.append(b.task_id)
+        with pytest.raises(RuntimeSchedulingError, match="cycle"):
+            graph.topological_order()
+
+
+class TestIncrementalHEFTEquivalence:
+    """The pruned placement index must reproduce the exhaustive scan
+    bitwise (tools/workloadfuzz.py checks this generatively; these are
+    the readable anchors)."""
+
+    def _assert_same(self, left, right):
+        assert set(left.placements) == set(right.placements)
+        for tid, p in left.placements.items():
+            q = right.placements[tid]
+            assert (p.node, p.start, p.finish, p.cores) \
+                == (q.node, q.start, q.finish, q.cores)
+        assert left.transfers_seconds \
+            == pytest.approx(right.transfers_seconds, abs=1e-9)
+
+    def _graph(self, n_tasks, seed, fpga_fraction=0.0):
+        class _Builder:
+            def __init__(self):
+                from repro.runtime.taskgraph import TaskGraph
+
+                self.graph = TaskGraph()
+
+            def submit(self, fn, *args, resources=None, output_bytes=8192,
+                       tuning=None, name=None, **kwargs):
+                return self.graph.add(fn, args, kwargs, resources,
+                                      output_bytes, tuning, name)
+
+        builder = _Builder()
+        synthetic_workflow(builder, n_tasks=n_tasks, seed=seed,
+                           fpga_fraction=fpga_fraction)
+        return builder.graph
+
+    def test_identical_on_homogeneous_cluster(self):
+        graph = self._graph(400, seed=2)
+        cluster = default_cluster(24)
+        self._assert_same(HEFTScheduler().schedule(graph, cluster),
+                          HEFTScheduler(incremental=False)
+                          .schedule(graph, cluster))
+
+    def test_identical_on_heterogeneous_cluster_with_fpga_tasks(self):
+        nodes = [Node(name=f"n{i}", cores=[4, 8, 16, 32][i % 4],
+                      core_gflops=[1.5, 2.5][i % 2],
+                      fpgas=[alveo_u55c()] if i % 3 == 0 else [])
+                 for i in range(12)]
+        cluster = Cluster(nodes)
+        graph = self._graph(300, seed=4, fpga_fraction=0.3)
+        self._assert_same(HEFTScheduler().schedule(graph, cluster),
+                          HEFTScheduler(incremental=False)
+                          .schedule(graph, cluster))
+
+    def test_identical_with_ready_overrides_and_warm_timelines(self):
+        graph = self._graph(120, seed=6)
+        cluster = default_cluster(6)
+        ready = {tid: (tid % 5) * 0.75 for tid in graph.tasks}
+
+        def warm():
+            timelines = {name: NodeTimeline(node)
+                         for name, node in cluster.nodes.items()}
+            timelines["node0"].commit(0.0, 2.5, 20)
+            timelines["node3"].commit(1.0, 4.0, 32)
+            return timelines
+
+        self._assert_same(
+            HEFTScheduler().schedule(graph, cluster,
+                                     ready_overrides=ready,
+                                     timelines=warm()),
+            HEFTScheduler(incremental=False)
+            .schedule(graph, cluster, ready_overrides=ready,
+                      timelines=warm()),
+        )

@@ -1,0 +1,411 @@
+"""Generative workload fuzzing for the runtime engine and its policies.
+
+``generate_case(seed)`` builds a random — but always completable —
+workload: a heterogeneous cluster (mixed core counts, CPU speeds, FPGA
+presence), a seeded random DAG (layered / fan-out / fan-in / chain /
+random mixes, including tasks requesting *exactly* a node's core count),
+an arrival process that streams part of the graph in while the engine
+runs (with deliberate identical-timestamp collisions), and a
+failure-injection schedule constrained so the surviving nodes can still
+host every task.
+
+Each case is executed through **every registered policy** (heft,
+round-robin, min-load) and checked against the machine-checkable
+invariant suite of :func:`check_invariants`:
+
+* **completeness** — every submitted task finishes exactly once: one
+  result, one final placement, and (absent failures) exactly one real
+  function invocation — no lost or double-executed task;
+* **no overcommit** — rebuilding every node's timeline from the final
+  placements, core usage never exceeds the node's capacity at any
+  instant, cross-checked against the *live*
+  :meth:`~repro.runtime.timeline.NodeTimeline.peak_usage` of the
+  engine's own timelines (which must hold exactly the same intervals —
+  commit/release churn from failure recovery must not leave drift);
+* **dependencies respected** — no task starts before every dependency's
+  finish;
+* **determinism** — replaying the seed yields the identical schedule
+  (the event queue is a total order; see
+  :mod:`repro.runtime.engine.events`);
+* **incremental ≡ baseline HEFT** — the pruned placement index
+  (:mod:`repro.runtime.placement`) and the exhaustive per-node scan
+  produce bitwise-identical schedules on the case's static graph;
+* **makespan monotonicity** — doubling the cluster (same node classes,
+  so HEFT's rank order is unchanged) never makes the HEFT makespan
+  worse by more than :data:`MONOTONICITY_SLACK` (list schedulers are
+  subject to Graham's timing anomalies, so exact monotonicity is not a
+  theorem; the slack bounds how bad an anomaly we accept).
+
+Run standalone for a longer campaign::
+
+    python tools/workloadfuzz.py --count 1000 [--start 0]
+
+Triage: every assertion message starts with the failing seed — re-run
+just that seed with ``--count 1 --start <seed>``, then shrink by
+lowering the task/node counts in :func:`generate_case` while the
+violation persists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.platforms.device import alveo_u55c
+from repro.runtime.cluster import Cluster, Node
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.engine.policies import POLICIES
+from repro.runtime.scheduler import HEFTScheduler
+from repro.runtime.taskgraph import ResourceRequest, TaskGraph
+from repro.runtime.timeline import NodeTimeline
+
+# Allowed relative makespan regression when the cluster is doubled
+# (Graham anomaly headroom for HEFT's non-preemptive list scheduling).
+MONOTONICITY_SLACK = 0.05
+
+_CORE_CHOICES = (4, 8, 16, 32)
+_GFLOPS_CHOICES = (1.5, 2.5, 4.0)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    cores: int
+    core_gflops: float
+    fpga: bool
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    index: int
+    deps: Tuple[int, ...]
+    cores: int
+    cpu_flops: float
+    fpga: bool
+    fpga_seconds: float
+    output_bytes: int
+
+
+@dataclass
+class WorkloadCase:
+    """One reproducible fuzz scenario (everything derived from ``seed``)."""
+
+    seed: int
+    nodes: List[NodeSpec]
+    tasks: List[TaskSpec]
+    # Streaming arrivals: (simulated time, task indices submitted then).
+    arrivals: List[Tuple[float, Tuple[int, ...]]] = field(
+        default_factory=list)
+    # Failure injections: (simulated time, node name).
+    failures: List[Tuple[float, str]] = field(default_factory=list)
+
+
+def build_cluster(case: WorkloadCase, copies: int = 1) -> Cluster:
+    """A fresh cluster for one run (failures mutate node liveness)."""
+    nodes = []
+    for copy in range(copies):
+        for i, spec in enumerate(case.nodes):
+            nodes.append(Node(
+                name=f"fz{copy}n{i}" if copy else f"fzn{i}",
+                cores=spec.cores,
+                core_gflops=spec.core_gflops,
+                fpgas=[alveo_u55c()] if spec.fpga else [],
+            ))
+    return Cluster(nodes)
+
+
+def _random_deps(rng: random.Random, index: int, shape: str,
+                 layer_of: Dict[int, int]) -> Tuple[int, ...]:
+    if index == 0:
+        return ()
+    if shape == "chain":
+        return (index - 1,)
+    if shape == "fanout":
+        return (0,) if rng.random() < 0.9 else ()
+    if shape == "fanin":
+        # Everything funnels into the last task; interior is sparse.
+        return tuple(sorted(rng.sample(range(index),
+                                       min(index, rng.randrange(0, 2)))))
+    if shape == "layered":
+        layer = layer_of[index]
+        pool = [i for i in range(index) if layer_of[i] == layer - 1]
+        if not pool:
+            return ()
+        return tuple(sorted(set(
+            rng.choice(pool) for _ in range(rng.randrange(1, 3)))))
+    return tuple(sorted(rng.sample(range(index),
+                                   min(index, rng.randrange(0, 3)))))
+
+
+def generate_case(seed: int) -> WorkloadCase:
+    """Build a random, always-completable workload from ``seed``."""
+    rng = random.Random(seed)
+    n_nodes = rng.randrange(2, 7)
+    nodes = [NodeSpec(cores=rng.choice(_CORE_CHOICES),
+                      core_gflops=rng.choice(_GFLOPS_CHOICES),
+                      fpga=rng.random() < 0.4)
+             for _ in range(n_nodes)]
+
+    # Failure schedule first: task feasibility is judged on survivors.
+    failures: List[Tuple[float, str]] = []
+    survivor_indices = list(range(n_nodes))
+    if rng.random() < 0.4 and n_nodes > 1:
+        for _ in range(rng.randrange(1, min(3, n_nodes))):
+            if len(survivor_indices) <= 1:
+                break
+            victim = rng.choice(survivor_indices)
+            survivor_indices.remove(victim)
+            failures.append((round(rng.uniform(0.1, 4.0), 2),
+                             f"fzn{victim}"))
+    survivors = [nodes[i] for i in survivor_indices]
+    max_cores = max(s.cores for s in survivors)
+    fpga_cores = max((s.cores for s in survivors if s.fpga), default=0)
+
+    n_tasks = rng.randrange(4, 29)
+    shape = rng.choice(["layered", "fanout", "fanin", "chain", "random",
+                        "layered", "random"])
+    width = max(2, n_tasks // max(1, rng.randrange(2, 5)))
+    layer_of = {i: i // width for i in range(n_tasks)}
+    tasks = []
+    for i in range(n_tasks):
+        fpga = fpga_cores > 0 and rng.random() < 0.2
+        # An FPGA task must fit a surviving FPGA node's cores, not just
+        # any survivor's.  Occasionally request exactly a node's full
+        # core count (the overcommit boundary).
+        fit = fpga_cores if fpga else max_cores
+        cores = fit if rng.random() < 0.15 else rng.randrange(1, fit + 1)
+        tasks.append(TaskSpec(
+            index=i,
+            deps=_random_deps(rng, i, shape, layer_of),
+            cores=cores,
+            cpu_flops=rng.uniform(5e8, 4e10),
+            fpga=fpga,
+            fpga_seconds=rng.uniform(1e-4, 2e-3) if fpga else 0.0,
+            output_bytes=rng.choice([0, 512, 8192, 1 << 20]),
+        ))
+
+    # Arrival process: the prefix arrives at t=0, the rest streams in as
+    # contiguous chunks at non-decreasing times (dependencies only point
+    # backwards, so a task never arrives before its dependencies).
+    # Repeated timestamps are generated on purpose — identical-time
+    # submissions must execute in submission order.
+    arrivals: List[Tuple[float, Tuple[int, ...]]] = []
+    first = n_tasks if rng.random() < 0.5 else rng.randrange(1, n_tasks)
+    cursor, time = first, 0.0
+    arrivals.append((0.0, tuple(range(first))))
+    while cursor < n_tasks:
+        if rng.random() < 0.4:  # deliberate tie with the previous chunk
+            time = max(time, 0.25)
+        else:
+            time = round(time + rng.uniform(0.25, 2.0), 2)
+        chunk = rng.randrange(1, n_tasks - cursor + 1)
+        arrivals.append((time, tuple(range(cursor, cursor + chunk))))
+        cursor += chunk
+    return WorkloadCase(seed=seed, nodes=nodes, tasks=tasks,
+                        arrivals=arrivals, failures=failures)
+
+
+def static_graph(case: WorkloadCase) -> TaskGraph:
+    """The case's DAG as a frozen offline graph (no arrivals/failures)."""
+    graph = TaskGraph()
+    futures = {}
+    for spec in case.tasks:
+        futures[spec.index] = graph.add(
+            (lambda *a, i=spec.index: i),
+            tuple(futures[d] for d in spec.deps), {},
+            ResourceRequest(cores=spec.cores, fpga=spec.fpga,
+                            cpu_flops=spec.cpu_flops,
+                            fpga_seconds=spec.fpga_seconds),
+            spec.output_bytes, None, f"fz{spec.index}",
+        )
+    return graph
+
+
+def run_case(case: WorkloadCase, policy: str):
+    """Execute the case through the engine; returns (engine, schedule,
+    per-task real invocation counts)."""
+    cluster = build_cluster(case)
+    engine = RuntimeEngine(cluster, policy=policy)
+    futures: Dict[int, object] = {}
+    calls: Dict[int, int] = {}
+    lock = threading.Lock()
+
+    def make_fn(index: int):
+        def fn(*args):
+            with lock:
+                calls[index] = calls.get(index, 0) + 1
+            return index
+        return fn
+
+    def submit_chunk(indices: Tuple[int, ...]) -> None:
+        for index in indices:
+            spec = case.tasks[index]
+            futures[index] = engine.submit(
+                make_fn(index), *[futures[d] for d in spec.deps],
+                resources=ResourceRequest(
+                    cores=spec.cores, fpga=spec.fpga,
+                    cpu_flops=spec.cpu_flops,
+                    fpga_seconds=spec.fpga_seconds),
+                output_bytes=spec.output_bytes,
+                name=f"fz{index}",
+            )
+
+    first_time, first_chunk = case.arrivals[0]
+    assert first_time == 0.0
+    submit_chunk(first_chunk)
+    for time, chunk in case.arrivals[1:]:
+        engine.call_at(time, lambda c=chunk: submit_chunk(c))
+    for time, name in case.failures:
+        engine.fail_node_at(time, name)
+    schedule = engine.run()
+    return engine, schedule, calls
+
+
+# ---------------------------------------------------------------------------
+# Invariant checkers (each raises AssertionError tagged with the seed)
+# ---------------------------------------------------------------------------
+
+def check_completeness(case, policy, engine, schedule, calls) -> None:
+    tag = f"seed {case.seed} [{policy}]"
+    n = len(case.tasks)
+    assert len(engine.graph.results) == n, \
+        f"{tag}: {n - len(engine.graph.results)} task(s) lost"
+    assert set(schedule.placements) == set(range(n)), \
+        f"{tag}: placement set != task set"
+    for index in range(n):
+        assert engine.graph.results[index] == index, \
+            f"{tag}: task {index} returned a foreign result"
+        count = calls.get(index, 0)
+        assert count >= 1, f"{tag}: task {index} never executed"
+        if not case.failures:
+            assert count == 1, \
+                f"{tag}: task {index} executed {count}x with no failures"
+
+
+def check_dependencies(case, policy, engine, schedule, calls) -> None:
+    tag = f"seed {case.seed} [{policy}]"
+    for spec in case.tasks:
+        placement = schedule.placements[spec.index]
+        for dep in spec.deps:
+            dep_finish = schedule.placements[dep].finish
+            assert placement.start >= dep_finish - 1e-9, (
+                f"{tag}: task {spec.index} starts at {placement.start} "
+                f"before dependency {dep} finishes at {dep_finish}")
+
+
+def check_no_overcommit(case, policy, engine, schedule, calls) -> None:
+    tag = f"seed {case.seed} [{policy}]"
+    by_node: Dict[str, list] = {}
+    for placement in schedule.placements.values():
+        by_node.setdefault(placement.node, []).append(placement)
+    for name, placements in by_node.items():
+        node = engine.cluster.node(name)
+        rebuilt = NodeTimeline(node)
+        for p in placements:
+            rebuilt.commit(p.start, p.duration, p.cores)
+        live = engine.timelines[name]
+        assert sorted(live.intervals) == sorted(rebuilt.intervals), (
+            f"{tag}: node {name} live timeline drifted from the final "
+            f"placements (stale commit/release state)")
+        for p in placements:
+            for timeline, origin in ((rebuilt, "rebuilt"),
+                                     (live, "live")):
+                peak = timeline.peak_usage(p.start, p.finish)
+                assert peak <= node.cores, (
+                    f"{tag}: node {name} {origin} peak usage {peak} > "
+                    f"{node.cores} cores during task {p.task_id}")
+
+
+def check_determinism(case, policy, engine, schedule, calls) -> None:
+    tag = f"seed {case.seed} [{policy}]"
+    _, replay, _ = run_case(case, policy)
+    assert set(replay.placements) == set(schedule.placements), \
+        f"{tag}: replay placed a different task set"
+    for index, placement in schedule.placements.items():
+        other = replay.placements[index]
+        assert (placement.node, placement.start, placement.finish) == \
+            (other.node, other.start, other.finish), (
+                f"{tag}: replay diverged on task {index}: "
+                f"{placement} vs {other}")
+    assert abs(replay.transfers_seconds
+               - schedule.transfers_seconds) < 1e-9, \
+        f"{tag}: replay transfer totals diverged"
+
+
+def check_incremental_heft(case: WorkloadCase) -> None:
+    tag = f"seed {case.seed}"
+    graph = static_graph(case)
+    incremental = HEFTScheduler().schedule(graph, build_cluster(case))
+    baseline = HEFTScheduler(incremental=False).schedule(
+        graph, build_cluster(case))
+    assert set(incremental.placements) == set(baseline.placements), \
+        f"{tag}: incremental HEFT placed a different task set"
+    for index, placement in baseline.placements.items():
+        other = incremental.placements[index]
+        assert (placement.node, placement.start, placement.finish) == \
+            (other.node, other.start, other.finish), (
+                f"{tag}: incremental HEFT diverged from the scan on "
+                f"task {index}: {other} vs {placement}")
+    assert abs(incremental.transfers_seconds
+               - baseline.transfers_seconds) < 1e-9, \
+        f"{tag}: incremental HEFT transfer totals diverged"
+
+
+def check_makespan_monotonic(case: WorkloadCase) -> None:
+    tag = f"seed {case.seed}"
+    graph = static_graph(case)
+    small = HEFTScheduler().schedule(graph, build_cluster(case))
+    big = HEFTScheduler().schedule(graph, build_cluster(case, copies=2))
+    limit = small.makespan * (1.0 + MONOTONICITY_SLACK) + 1e-9
+    assert big.makespan <= limit, (
+        f"{tag}: doubling the cluster worsened the HEFT makespan "
+        f"{small.makespan:.6f} -> {big.makespan:.6f} "
+        f"(> {MONOTONICITY_SLACK:.0%} slack)")
+
+
+ENGINE_INVARIANTS = (
+    check_completeness,
+    check_dependencies,
+    check_no_overcommit,
+    check_determinism,
+)
+
+
+def check_workload(seed: int) -> None:
+    """Run one seed through every policy and every invariant."""
+    case = generate_case(seed)
+    for policy in sorted(POLICIES):
+        engine, schedule, calls = run_case(case, policy)
+        for invariant in ENGINE_INVARIANTS:
+            invariant(case, policy, engine, schedule, calls)
+    check_incremental_heft(case)
+    check_makespan_monotonic(case)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fuzz the runtime engine: random DAGs + arrivals + "
+                    "failures through every policy, checked against the "
+                    "scheduler invariant suite")
+    parser.add_argument("--count", type=int, default=200,
+                        help="number of seeds to run")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first seed")
+    args = parser.parse_args(argv)
+    failures = 0
+    for seed in range(args.start, args.start + args.count):
+        try:
+            check_workload(seed)
+        except Exception as error:  # pragma: no cover - campaign reporting
+            failures += 1
+            print(f"seed {seed}: FAIL: {error}", file=sys.stderr)
+    print(f"workloadfuzz: {args.count - failures}/{args.count} seeds ok "
+          f"(seeds {args.start}..{args.start + args.count - 1})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
