@@ -2,13 +2,15 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-runtime bench-ir bench-exec fuzz-smoke \
-	fuzz-runtime-smoke fuzz-runtime coverage docs-check examples lint all
+	fuzz-exec-smoke fuzz-runtime-smoke fuzz-runtime coverage docs-check \
+	examples lint all
 
 all: test docs-check
 
 test: lint
 	$(PYTHON) -m pytest -x -q tests
 	$(MAKE) fuzz-smoke
+	$(MAKE) fuzz-exec-smoke
 	$(MAKE) fuzz-runtime-smoke
 	$(MAKE) bench-ir
 	$(MAKE) bench-exec
@@ -51,6 +53,18 @@ bench-exec:
 fuzz-smoke:
 	$(PYTHON) tools/irfuzz.py --count 20
 	$(PYTHON) tools/irfuzz.py --mode exec --count 20
+
+# The executor differential fuzzer against every registered backend
+# (the 200-seed-per-backend campaigns are `python tools/irfuzz.py
+# --mode exec --count 200 --backend <name>`); forced tiling exercises
+# the sharded code path even on small fuzz kernels.
+fuzz-exec-smoke:
+	$(PYTHON) tools/irfuzz.py --mode exec --count 15 --backend compiled
+	$(PYTHON) tools/irfuzz.py --mode exec --count 15 \
+		--backend compiled-parallel
+	REPRO_TILE_THRESHOLD=1 REPRO_JOBS=3 $(PYTHON) tools/irfuzz.py \
+		--mode exec --count 10 --backend compiled-parallel
+	$(PYTHON) tools/irfuzz.py --mode exec --count 15 --backend cbackend
 
 # Runtime-engine workload fuzzing: random DAGs + streamed arrivals +
 # failure injection through every policy, checked against the scheduler

@@ -158,11 +158,14 @@ def cmd_run(args) -> int:
                             opt_level=args.opt_level)
     inputs = _gather_run_inputs(lowered.module, lowered.kernel.name, args)
     result = session.execute(lowered.source, inputs, backend=args.backend,
-                             opt_level=args.opt_level)
+                             opt_level=args.opt_level,
+                             jobs=getattr(args, "jobs", None))
     kernel = result.kernel
+    note = f" [fell back: {kernel.fallback}]" if kernel.fallback else ""
     print(f"kernel {kernel.func_name}: backend={kernel.backend} "
           f"({kernel.vectorized_nests} vectorized / "
-          f"{kernel.scalar_nests} scalar nest(s), {kernel.flops} flops)")
+          f"{kernel.scalar_nests} scalar nest(s), {kernel.flops} flops)"
+          f"{note}")
     for name, value in result.outputs.items():
         value = np.asarray(value)
         flat = np.array2string(value.ravel()[:6], precision=6,
@@ -337,7 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run",
                        help="compile and execute a kernel on the CPU "
-                            "(vectorized numpy backend)")
+                            "through a registered executor backend")
     p.add_argument("source")
     p.add_argument("--input", action="append", default=[],
                    metavar="NAME=FILE.npy",
@@ -346,8 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--random-seed", type=int, default=None,
                    help="fill unbound inputs: floats uniform [0,1), "
                         "integers zero")
-    p.add_argument("--backend", choices=["compiled", "interpreter"],
-                   default="compiled")
+    p.add_argument("--backend", default="compiled",
+                   help="executor backend name (resolved through the "
+                        "registry: interpreter, compiled, "
+                        "compiled-parallel, cbackend, ...); an unknown "
+                        "name lists the registered ones")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker-pool size for the compiled-parallel "
+                        "backend (default: REPRO_JOBS or the CPU count, "
+                        "capped at 8)")
     p.add_argument("--opt-level", type=int, choices=[0, 1, 2], default=1,
                    help="0: raw lowering, 1: canonicalize (fold/DCE/CSE), "
                         "2: canonicalize + inline")

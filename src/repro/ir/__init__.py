@@ -51,6 +51,7 @@ from repro.ir.core import (
     Value,
 )
 from repro.ir.dialect import REGISTRY, Dialect, DialectRegistry, OpDef, register_dialect
+from repro.ir.fusion import FusionPass, fuse_module
 from repro.ir.parser import parse_module, parse_type
 from repro.ir.passes import (
     CommonSubexpressionElimination,
@@ -120,4 +121,6 @@ __all__ = [
     "constant_value",
     "SymbolTable",
     "InlinePass",
+    "FusionPass",
+    "fuse_module",
 ]

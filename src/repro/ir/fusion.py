@@ -1,0 +1,287 @@
+"""Elementwise producer/consumer fusion on lowered ``affine`` functions.
+
+:class:`FusionPass` removes materialized intermediate arrays from the
+loop nests that :mod:`repro.tensorpipe.lower_teil` emits.  The lowering
+produces one ``memref.alloc`` + one perfect ``affine.for`` nest per
+tensor op; a chain of elementwise ops therefore allocates, fills and
+re-reads one full-size buffer per link.  When an intermediate buffer has
+exactly one producer store and one consumer load, the producer's body
+can instead be cloned into the consumer at the load site (substituting
+the producer's induction variables with the consumer's load indices),
+after which the load, the producer nest and the allocation disappear.
+:class:`~repro.tensorpipe.codegen.AffineCompiler` then vectorizes the
+consumer nest into a single fused numpy expression — no intermediate
+array traffic.
+
+The rewrite is bit-for-bit neutral: it only ever elides a same-dtype
+store/load round trip through memory, so the differential contract
+(interpreter == compiled, enforced by ``irfuzz --mode exec``) gates it
+at every optimization level.
+
+What fuses
+----------
+A ``memref.alloc`` is a fusion candidate when
+
+* its buffer has **exactly two uses**: one ``memref.store`` and one
+  ``memref.load`` (multi-use intermediates would duplicate work — and
+  reads through ``memref.copy`` are not loads — so neither fuses);
+* the store sits in a **top-level perfect nest** whose body is
+  straight-line pure compute (loads, arithmetic, exactly that one
+  store), and the store's indices are precisely the nest's induction
+  variables, each used once — i.e. the producer is *elementwise*.  A
+  reduction's accumulator fails this on two counts: its store does not
+  cover the zero-fill nest's IVs, and the buffer has two stores;
+* every index of the consumer load is the induction variable of an
+  enclosing loop with **identical bounds** to the producer loop for
+  that dimension, so each read lands exactly on a written element
+  (the consumer may be a deeper nest, e.g. a reduction *over* the
+  fused value);
+* no op between the producer nest and the consumer nest — nor anywhere
+  inside the consumer nest — **writes a buffer the producer reads**:
+  the producer's loads execute later after fusion, so their sources
+  must be provably unchanged in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.core import Block, BlockArgument, Module, Operation, Value
+from repro.ir.dialect import REGISTRY
+from repro.ir.passes import Pass
+
+
+def _is_pure(op: Operation) -> bool:
+    opdef = REGISTRY.opdef_for(op)
+    return opdef is not None and "pure" in opdef.traits
+
+
+def _loop_bounds(for_op: Operation) -> Tuple[int, int, int]:
+    return (for_op.attr("lower"), for_op.attr("upper"), for_op.attr("step"))
+
+
+def _enclosing_for(value: Value) -> Optional[Operation]:
+    """The ``affine.for`` whose induction variable ``value`` is, if any."""
+    if not isinstance(value, BlockArgument):
+        return None
+    block = value.block
+    region = block.parent
+    owner = region.parent_op if region is not None else None
+    if owner is not None and owner.name == "affine.for" \
+            and block.args and value is block.args[0]:
+        return owner
+    return None
+
+
+def _top_level_ancestor(op: Operation, entry: Block) -> Optional[Operation]:
+    """The ancestor of ``op`` (possibly itself) sitting directly in
+    ``entry``, or None when ``op`` is not nested under it."""
+    current: Optional[Operation] = op
+    while current is not None:
+        if current.parent is entry:
+            return current
+        block = current.parent
+        if block is None or block.parent is None:
+            return None
+        current = block.parent.parent_op
+    return None
+
+
+_KNOWN_EFFECTS = frozenset({
+    "memref.store", "memref.copy", "memref.load", "memref.alloc",
+    "affine.for", "affine.yield", "func.return",
+})
+
+
+def _written_buffers(root: Operation) -> Optional[List[Value]]:
+    """Buffers written anywhere under ``root`` (stores and copy dests).
+
+    Returns None when ``root`` contains an op with *unknown* side effects
+    (e.g. ``func.call``): callers must then assume everything is written.
+    """
+    written: List[Value] = []
+    for op in root.walk():
+        if op.name == "memref.store":
+            written.append(op.operands[1])
+        elif op.name == "memref.copy":
+            written.append(op.operands[1])
+        elif op.name not in _KNOWN_EFFECTS and not _is_pure(op):
+            return None
+    return written
+
+
+class _Producer:
+    """A fusable producer: one top-level elementwise perfect nest."""
+
+    def __init__(self, nest: Operation, loops: List[Operation],
+                 body: List[Operation], store: Operation):
+        self.nest = nest
+        self.loops = loops          # outermost..innermost affine.for ops
+        self.body = body            # straight-line ops, terminator excluded
+        self.store = store
+        # store indices are IVs, one per loop: dimension d -> its loop.
+        self.dim_loops = [_enclosing_for(idx) for idx in store.operands[2:]]
+        self.reads = [op.operands[0] for op in body
+                      if op.name == "memref.load"]
+
+
+def _match_producer(store: Operation, buffer: Value,
+                    entry: Block) -> Optional[_Producer]:
+    """Recognize the elementwise perfect nest that fills ``buffer``."""
+    nest = _top_level_ancestor(store, entry)
+    if nest is None or nest.name != "affine.for":
+        return None  # e.g. a rank-0 top-level store: nothing to fuse over
+    # Collect the perfect nest: each level holds exactly one inner loop
+    # plus the terminator, the innermost holds the straight-line body.
+    loops: List[Operation] = []
+    current = nest
+    while True:
+        region = current.regions[0]
+        if len(region.blocks) != 1 or len(region.entry.args) != 1:
+            return None
+        loops.append(current)
+        ops = list(region.entry.operations)
+        inner = [o for o in ops if o.name == "affine.for"]
+        if len(ops) == 2 and len(inner) == 1 and ops[0] is inner[0] \
+                and ops[1].name == "affine.yield":
+            current = inner[0]
+            continue
+        if inner:
+            return None  # imperfect nest
+        body = [o for o in ops if o.name != "affine.yield"]
+        break
+    if store not in body:
+        return None
+    stores = [o for o in body if o.name == "memref.store"]
+    if stores != [store]:
+        return None
+    for op in body:
+        if op.regions:
+            return None
+        if op is store or op.name == "memref.load":
+            continue
+        if not _is_pure(op):
+            return None
+    # Elementwise check: the store indices are exactly this nest's IVs,
+    # each exactly once (reduction stores do not cover every loop).
+    indices = list(store.operands[2:])
+    ivs = [loop.regions[0].entry.args[0] for loop in loops]
+    if len(indices) != len(ivs) or set(indices) != set(ivs) \
+            or len(set(indices)) != len(indices):
+        return None
+    if buffer in (op.operands[0] for op in body
+                  if op.name == "memref.load"):
+        return None  # self-referential (sequential-update) pattern
+    return _Producer(nest, loops, body, store)
+
+
+class FusionPass(Pass):
+    """Fuse single-use elementwise producers into their consumers."""
+
+    name = "fuse-elementwise"
+
+    def __init__(self) -> None:
+        self.fused = 0
+
+    def run(self, module: Module) -> None:
+        for op in list(module.body):
+            if op.opname != "func":
+                continue
+            if op.attr("kernel_lang") != "affine" or not op.regions:
+                continue
+            self._run_on_func(op)
+
+    def _run_on_func(self, func: Operation) -> None:
+        entry = func.regions[0].entry
+        changed = True
+        while changed:
+            changed = False
+            for alloc in [op for op in list(entry.operations)
+                          if op.name == "memref.alloc"]:
+                if alloc.parent is None:
+                    continue  # erased by an earlier fusion this sweep
+                if self._try_fuse(alloc, entry):
+                    self.fused += 1
+                    changed = True
+
+    # -- one candidate ------------------------------------------------------
+
+    def _try_fuse(self, alloc: Operation, entry: Block) -> bool:
+        buffer = alloc.results[0]
+        uses = list(buffer.uses)
+        if len(uses) != 2:
+            return False
+        store = load = None
+        for user, idx in uses:
+            if user.name == "memref.store" and idx == 1:
+                store = user
+            elif user.name == "memref.load" and idx == 0:
+                load = user
+        if store is None or load is None:
+            return False
+
+        producer = _match_producer(store, buffer, entry)
+        if producer is None:
+            return False
+
+        consumer = _top_level_ancestor(load, entry)
+        if consumer is None or consumer is producer.nest:
+            return False
+        position = {op: i for i, op in enumerate(entry.operations)}
+        p_at, c_at = position[producer.nest], position[consumer]
+        if c_at <= p_at:
+            return False  # the load would have observed the zero-fill
+
+        # Every load index must be the IV of an enclosing loop with the
+        # same bounds as the producer loop for that dimension, so the
+        # read provably lands on a written element.
+        indices = list(load.operands[1:])
+        if len(indices) != len(producer.dim_loops):
+            return False
+        for idx, dim_loop in zip(indices, producer.dim_loops):
+            enclosing = _enclosing_for(idx)
+            if enclosing is None or \
+                    _loop_bounds(enclosing) != _loop_bounds(dim_loop):
+                return False
+
+        # The producer's reads execute later after fusion: every buffer
+        # it loads must be untouched between the two nests and inside
+        # the consumer nest itself (interleaving writes with the cloned
+        # reads would change which values the reads observe).
+        reads = set(producer.reads)
+        if reads:
+            hazards = set()
+            for op in list(entry.operations[p_at + 1:c_at]) + [consumer]:
+                written = _written_buffers(op)
+                if written is None:
+                    return False  # unknown side effects in between
+                hazards.update(written)
+            if hazards & reads:
+                return False
+
+        # Substitute: producer IV for dimension d -> consumer index d.
+        store_ivs = list(producer.store.operands[2:])
+        value_map: Dict[Value, Value] = dict(zip(store_ivs, indices))
+        block = load.parent
+        at = block.operations.index(load)
+        for op in producer.body:
+            if op is producer.store:
+                continue
+            clone = op.clone(value_map)
+            for old, new in zip(op.results, clone.results):
+                value_map[old] = new
+            block.insert(at, clone)
+            at += 1
+        stored = producer.store.operands[0]
+        load.results[0].replace_all_uses_with(value_map.get(stored, stored))
+        load.erase()
+        producer.nest.erase()
+        alloc.erase()
+        return True
+
+
+def fuse_module(module: Module) -> int:
+    """Run :class:`FusionPass` once; returns the number of fused buffers."""
+    fusion = FusionPass()
+    fusion.run(module)
+    return fusion.fused

@@ -178,22 +178,26 @@ class PipelineSession:
 
     def execute(self, source: str, inputs, *,
                 backend: str = "compiled",
-                opt_level: int = 1) -> ExecutionResult:
+                opt_level: int = 1,
+                jobs: Optional[int] = None) -> ExecutionResult:
         """Compile to the CPU executor and run it over ``inputs``.
 
         The compilation itself (codegen + ``compile()``) is a cached
         ``execute`` stage keyed on the lowered module; the run over the
         given inputs is never cached (inputs are arbitrary numpy arrays)
         but is timed into the session report as an auxiliary event.
-        ``backend`` selects the vectorized-numpy executor (default) or
-        the reference ``"interpreter"``.
+        ``backend`` names any registered executor backend
+        (:func:`repro.tensorpipe.backends.registered_backends`); an
+        unknown name raises with the available ones.  ``jobs`` sizes the
+        ``compiled-parallel`` worker pool (None: ``REPRO_JOBS`` or the
+        CPU count capped at 8); other backends ignore it.
         """
         result = self.lower(source, opt_level=opt_level)
         key, kernel = self.run_stage(
             "execute", (result.kernel, result.module), key=result.key,
             params={"backend": backend}, detail=backend)
         with StageClock() as clock:
-            outputs = kernel.run(inputs)
+            outputs = kernel.run(inputs, jobs=jobs)
         self.report.record("execute/run", clock.seconds, cached=False,
                            detail=kernel.backend, aux=True)
         return ExecutionResult(kernel, outputs, clock.seconds, key=key)

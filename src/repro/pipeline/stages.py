@@ -136,14 +136,13 @@ def stage_canonicalize(module: Any, *, opt_level: int = 1,
     can show where optimization time went.
     """
     import repro.dialects  # noqa: F401 (registration side effect)
-    from repro.ir import CanonicalizePass, InlinePass, verify
+    from repro.ir import CanonicalizePass, FusionPass, InlinePass, verify
+    from repro.pipeline.report import StageClock
 
     if opt_level <= 0:
         return module
     optimized = module.clone()
     if opt_level >= 2:
-        from repro.pipeline.report import StageClock
-
         inliner = InlinePass()
         with StageClock() as clock:
             inliner.run(optimized)
@@ -156,6 +155,12 @@ def stage_canonicalize(module: Any, *, opt_level: int = 1,
         for pass_name, seconds in canonicalizer.timings:
             report.record(f"canonicalize/{pass_name}", seconds, cached=False,
                           aux=True)
+    fusion = FusionPass()
+    with StageClock() as clock:
+        fusion.run(optimized)
+    if report is not None:
+        report.record("canonicalize/fuse", clock.seconds, cached=False,
+                      detail=f"{fusion.fused} buffer(s)", aux=True)
     verify(optimized)
     return optimized
 

@@ -1,0 +1,622 @@
+"""Generated-C executor backend (``cc`` + ``ctypes`` at cache-fill time).
+
+:class:`CBackend` emits one C translation unit per affine function —
+native scalar loops over raw row-major pointers — compiles it with the
+system C compiler into a shared object, and binds it through
+:mod:`ctypes`.  This is the SDK's "kernel library" rung (the hardware
+backends emit HLS C++ from the same affine module; sailfish-style
+Python-defined device kernels are the exemplar): zero numpy dispatch
+overhead, one fused pass over memory per nest.
+
+Bitwise contract
+----------------
+The backend participates in the same bit-for-bit float64 differential
+contract as the numpy backends, which constrains the emitted C:
+
+* IEEE ``+ - * /``, ``sqrt``, ``fabs`` and float casts are exactly
+  rounded in both numpy and C — always safe.  ``-ffp-contract=off``
+  keeps the compiler from fusing multiply-adds (FMA changes bits).
+* libm transcendentals (``exp``, ``log``, ``tanh``, ``pow``, ...) are
+  *not* guaranteed to match numpy's SIMD loops bit-for-bit, so a
+  one-time **runtime probe** compiles a tiny program and compares each
+  candidate against the numpy ufunc over adversarial inputs; only ops
+  whose results are bitwise identical are admitted.  A kernel using a
+  rejected op falls back to the ``compiled`` numpy backend with the
+  reason recorded on the artifact (``kernel.fallback``).
+* ``arith.divsi``/``remsi`` are emitted as *floor* division/modulo
+  (numpy semantics; C ``/`` truncates), ``arith.maximumf`` as the
+  NaN-propagating ``(a >= b || a != a) ? a : b``, and negative gather
+  indices wrap once like numpy's.
+
+Cache poisoning guard
+---------------------
+Artifacts live in a content-addressed on-disk cache (``key.so``).  The
+compiler writes source and object to dot-prefixed temporaries and
+installs with an atomic ``os.replace``; a ``cc`` crash mid-build leaves
+*nothing* under the final name, so a later process can never load a
+truncated artifact.  ``REPRO_CBACKEND_CACHE`` overrides the cache
+directory, ``REPRO_CC`` the compiler (both used by the regression
+tests); with no compiler on PATH every compile cleanly falls back.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import dataclasses
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EverestError
+from repro.ir import Module, Operation, Value
+from repro.ir.printer import print_module
+from repro.pipeline.cache import fingerprint
+from repro.tensorpipe.codegen import (
+    CompiledKernel,
+    UnsupportedAffineOp,
+    _static_flops,
+    compile_numpy,
+)
+
+_CTYPE = {
+    "f64": "double", "f32": "float", "i64": "int64_t", "i32": "int32_t",
+    "i1": "uint8_t", "index": "int64_t",
+}
+
+_CMP_C = {"le": "<=", "lt": "<", "ge": ">=", "gt": ">", "eq": "==",
+          "ne": "!="}
+
+# Simple infix ops whose C semantics match numpy exactly on every
+# operand type we emit (IEEE arithmetic / two's-complement int64).
+_INFIX_C = {
+    "arith.addf": "+", "arith.subf": "-", "arith.mulf": "*",
+    "arith.divf": "/",
+    "arith.addi": "+", "arith.subi": "-", "arith.muli": "*",
+}
+
+_MATH_C = {"math.exp": "exp", "math.log": "log", "math.sqrt": "sqrt",
+           "math.sin": "sin", "math.cos": "cos", "math.tanh": "tanh"}
+
+_HELPERS = """\
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+
+static inline int64_t repro_wrap(int64_t i, int64_t n)
+    { return i < 0 ? i + n : i; }
+static inline int64_t repro_divfloor(int64_t a, int64_t b) {
+    int64_t q = a / b;
+    if ((a % b) != 0 && ((a < 0) != (b < 0))) --q;
+    return q;
+}
+static inline int64_t repro_modfloor(int64_t a, int64_t b) {
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+static inline double repro_fmax(double a, double b)
+    { return (a >= b || a != a) ? a : b; }
+static inline double repro_fmin(double a, double b)
+    { return (a <= b || a != a) ? a : b; }
+"""
+
+
+def _c_float_literal(value: float) -> str:
+    if value != value:
+        return "NAN"
+    if value == float("inf"):
+        return "INFINITY"
+    if value == float("-inf"):
+        return "-INFINITY"
+    # repr round-trips doubles exactly and strtod is correctly rounded.
+    text = repr(float(value))
+    return text
+
+
+class CEmitter:
+    """Emit one affine function as a C translation unit."""
+
+    def __init__(self, module: Module, func_name: str,
+                 supported: FrozenSet[str]):
+        self.func = module.lookup(func_name)
+        if self.func.attr("kernel_lang") != "affine":
+            raise EverestError(f"{func_name} is not an affine-level function")
+        self.supported = supported
+        self.lines: List[str] = []
+        self.indent = 1
+        self.counter = 0
+        self.expr: Dict[Value, str] = {}
+        self.ctype: Dict[Value, str] = {}
+        # Value -> (var, shape tuple, element ctype) for memref buffers.
+        self.buffers: Dict[Value, Tuple[str, Tuple[int, ...], str]] = {}
+        self.nonneg: set = set()       # values provably >= 0 (loop IVs)
+        self.allocs: List[str] = []
+
+    def _fresh(self, prefix: str = "v") -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def _ct(self, value: Value) -> str:
+        ct = _CTYPE.get(str(value.type))
+        if ct is None:
+            raise UnsupportedAffineOp(
+                f"no C type for {value.type}")
+        return ct
+
+    def generate(self) -> str:
+        entry = self.func.regions[0].entry
+        self.lines = [_HELPERS, "void repro_kernel(void **args) {"]
+        for i, arg in enumerate(entry.args):
+            ref = arg.type
+            ct = _CTYPE.get(str(ref.element))
+            if ct is None:
+                raise UnsupportedAffineOp(f"no C type for {ref.element}")
+            var = f"a{i}"
+            self._emit(f"{ct} *{var} = ({ct} *) args[{i}];")
+            self.buffers[arg] = (var, tuple(ref.shape), ct)
+        for op in entry.operations:
+            self._emit_op(op)
+        for var in self.allocs:
+            self._emit(f"free({var});")
+        self.lines.append("}")
+        return "\n".join(self.lines) + "\n"
+
+    # -- per-op emission -----------------------------------------------------
+
+    def _emit_op(self, op: Operation) -> None:
+        name = op.name
+        if name in ("affine.yield", "func.return"):
+            return
+        if name == "affine.for":
+            lower, upper = op.attr("lower"), op.attr("upper")
+            step = op.attr("step")
+            if step is None or step <= 0:
+                raise UnsupportedAffineOp(f"non-positive loop step {step}")
+            iv = op.regions[0].entry.args[0]
+            var = self._fresh("i")
+            self.expr[iv] = var
+            self.ctype[iv] = "int64_t"
+            self.nonneg.add(iv)
+            self._emit(f"for (int64_t {var} = {lower}; {var} < {upper}; "
+                       f"{var} += {step}) {{")
+            self.indent += 1
+            for inner in op.regions[0].entry.operations:
+                self._emit_op(inner)
+            self.indent -= 1
+            self._emit("}")
+            return
+        if name == "memref.alloc":
+            ref = op.results[0].type
+            ct = _CTYPE.get(str(ref.element))
+            if ct is None:
+                raise UnsupportedAffineOp(f"no C type for {ref.element}")
+            count = 1
+            for dim in ref.shape:
+                count *= dim
+            var = self._fresh("buf")
+            # calloc zero-fills: identical to the np.zeros the numpy
+            # backends allocate (all-zero bits are +0.0 / 0 / false).
+            self._emit(f"{ct} *{var} = ({ct} *) calloc({max(count, 1)}, "
+                       f"sizeof({ct}));")
+            self.buffers[op.results[0]] = (var, tuple(ref.shape), ct)
+            self.allocs.append(var)
+            return
+        if name == "memref.copy":
+            src, dst = op.operands[0], op.operands[1]
+            if src not in self.buffers or dst not in self.buffers:
+                raise UnsupportedAffineOp("copy of unknown buffer")
+            svar, shape, ct = self.buffers[src]
+            dvar = self.buffers[dst][0]
+            count = 1
+            for dim in shape:
+                count *= dim
+            self._emit(f"memcpy({dvar}, {svar}, "
+                       f"{max(count, 1)} * sizeof({ct}));")
+            return
+        if name == "memref.load":
+            buffer = op.operands[0]
+            if buffer not in self.buffers:
+                raise UnsupportedAffineOp("load from unknown buffer")
+            var = self._fresh()
+            ct = self._ct(op.results[0])
+            index = self._flat_index(buffer, list(op.operands[1:]))
+            self._emit(f"{ct} {var} = {self.buffers[buffer][0]}[{index}];")
+            self.expr[op.results[0]] = var
+            self.ctype[op.results[0]] = ct
+            return
+        if name == "memref.store":
+            value, buffer = op.operands[0], op.operands[1]
+            if buffer not in self.buffers:
+                raise UnsupportedAffineOp("store to unknown buffer")
+            bvar, _, ct = self.buffers[buffer]
+            index = self._flat_index(buffer, list(op.operands[2:]))
+            self._emit(f"{bvar}[{index}] = ({ct})({self._operand(value)});")
+            return
+        if name == "arith.constant":
+            self._emit_constant(op)
+            return
+        expr = self._compute(op)
+        var = self._fresh()
+        ct = self._ct(op.results[0])
+        self._emit(f"{ct} {var} = {expr};")
+        self.expr[op.results[0]] = var
+        self.ctype[op.results[0]] = ct
+
+    def _emit_constant(self, op: Operation) -> None:
+        value = op.attr("value")
+        result = op.results[0]
+        ct = self._ct(result)
+        if isinstance(value, bool):
+            literal = "1" if value else "0"
+        elif isinstance(value, float):
+            literal = _c_float_literal(value)
+        elif isinstance(value, int):
+            literal = repr(value)
+            if value >= 0:
+                self.nonneg.add(result)
+        else:
+            raise UnsupportedAffineOp(f"cannot inline constant {value!r}")
+        # Cast into the result's C type so f32 constants participate in
+        # float arithmetic (numpy keeps the narrow type the same way).
+        self.expr[result] = f"(({ct})({literal}))"
+        self.ctype[result] = ct
+
+    def _operand(self, value: Value) -> str:
+        expr = self.expr.get(value)
+        if expr is None:
+            raise UnsupportedAffineOp("operand defined outside C scope")
+        return expr
+
+    def _flat_index(self, buffer: Value, indices: List[Value]) -> str:
+        _, shape, _ = self.buffers[buffer]
+        if len(indices) != len(shape):
+            raise UnsupportedAffineOp("rank-mismatched memory access")
+        if not indices:
+            return "0"
+        strides = []
+        acc = 1
+        for dim in reversed(shape):
+            strides.append(acc)
+            acc *= dim
+        strides.reverse()
+        parts = []
+        for value, dim, stride in zip(indices, shape, strides):
+            expr = self._operand(value)
+            if value not in self.nonneg:
+                # numpy wraps one negative step (gather indices).
+                expr = f"repro_wrap({expr}, {dim})"
+            parts.append(expr if stride == 1 else f"({expr}) * {stride}")
+        return " + ".join(parts)
+
+    def _compute(self, op: Operation) -> str:
+        name = op.name
+        ops = [self._operand(o) for o in op.operands]
+        cts = [self.ctype.get(o, "") for o in op.operands]
+        if name in _INFIX_C:
+            return f"({ops[0]} {_INFIX_C[name]} {ops[1]})"
+        if name in ("arith.divsi", "arith.remsi"):
+            fn = "repro_divfloor" if name == "arith.divsi" else \
+                "repro_modfloor"
+            return f"{fn}({ops[0]}, {ops[1]})"
+        if name == "arith.maxsi":
+            return f"({ops[0]} > {ops[1]} ? {ops[0]} : {ops[1]})"
+        if name == "arith.minsi":
+            return f"({ops[0]} < {ops[1]} ? {ops[0]} : {ops[1]})"
+        if name in ("arith.maximumf", "arith.minimumf", "arith.powf"):
+            self._require(name)
+            self._require_double(name, cts)
+            fn = {"arith.maximumf": "repro_fmax",
+                  "arith.minimumf": "repro_fmin",
+                  "arith.powf": "pow"}[name]
+            return f"{fn}({ops[0]}, {ops[1]})"
+        if name in ("arith.cmpf", "arith.cmpi"):
+            cmp = _CMP_C.get(op.attr("predicate"))
+            if cmp is None:
+                raise UnsupportedAffineOp(
+                    f"unknown predicate {op.attr('predicate')!r}")
+            return f"({ops[0]} {cmp} {ops[1]})"
+        if name == "arith.select":
+            return f"({ops[0]} ? {ops[1]} : {ops[2]})"
+        if name == "arith.negf":
+            return f"(-{ops[0]})"
+        if name in _MATH_C:
+            self._require(name)
+            self._require_double(name, cts)
+            return f"{_MATH_C[name]}({ops[0]})"
+        if name == "math.abs":
+            if cts[0] == "double":
+                return f"fabs({ops[0]})"
+            if cts[0] == "float":
+                return f"fabsf({ops[0]})"
+            return f"({ops[0]} < 0 ? -{ops[0]} : {ops[0]})"
+        if name == "arith.index_cast":
+            return f"(int64_t)({ops[0]})"
+        if name in ("arith.sitofp", "arith.fptosi", "arith.truncf",
+                    "arith.extf"):
+            return f"({self._ct(op.results[0])})({ops[0]})"
+        raise UnsupportedAffineOp(f"cannot emit C for op {name}")
+
+    def _require(self, name: str) -> None:
+        if name not in self.supported:
+            raise UnsupportedAffineOp(
+                f"{name}: host libm is not bit-identical to numpy")
+
+    @staticmethod
+    def _require_double(name: str, cts: List[str]) -> None:
+        if any(ct != "double" for ct in cts):
+            raise UnsupportedAffineOp(
+                f"{name}: only double precision is probed against numpy")
+
+
+# -- compiler / artifact cache ------------------------------------------------
+
+
+class CCompileError(EverestError):
+    """``cc`` failed; callers fall back to the numpy backend."""
+
+
+def find_cc() -> Optional[str]:
+    """The C compiler to use: ``REPRO_CC`` (tests) or ``cc`` on PATH."""
+    override = os.environ.get("REPRO_CC")
+    if override:
+        return override
+    return shutil.which("cc")
+
+
+def cache_dir() -> str:
+    base = os.environ.get("REPRO_CBACKEND_CACHE")
+    if not base:
+        base = os.path.join(tempfile.gettempdir(),
+                            f"repro-cbackend-{os.getuid()}")
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def compile_shared_object(cc: str, source: str, key: str) -> str:
+    """Compile ``source`` into ``<cache>/<key>.so``; atomic install.
+
+    Source and object are written to dot-prefixed temporaries and moved
+    into place with ``os.replace`` only after ``cc`` succeeded, so a
+    failed build can never leave a partial artifact under the final
+    name (cache-poisoning guard).  Raises :class:`CCompileError` on
+    failure, with all temporaries removed.
+    """
+    directory = cache_dir()
+    so_path = os.path.join(directory, f"{key}.so")
+    if os.path.exists(so_path):
+        return so_path
+    pid = os.getpid()
+    tmp_c = os.path.join(directory, f".{key}.{pid}.c")
+    tmp_so = os.path.join(directory, f".{key}.{pid}.so")
+    try:
+        with open(tmp_c, "w") as handle:
+            handle.write(source)
+        command = [cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                   "-o", tmp_so, tmp_c, "-lm"]
+        try:
+            proc = subprocess.run(command, capture_output=True, text=True)
+        except OSError as error:
+            raise CCompileError(f"cannot run {cc!r}: {error}")
+        if proc.returncode != 0 or not os.path.exists(tmp_so):
+            detail = (proc.stderr or proc.stdout or "").strip()
+            raise CCompileError(
+                f"{cc} exited with {proc.returncode}"
+                + (f": {detail[:500]}" if detail else ""))
+        os.replace(tmp_so, so_path)
+        # Keep the source next to the object for inspection (same
+        # atomic discipline; losing this race is harmless).
+        os.replace(tmp_c, os.path.join(directory, f"{key}.c"))
+        return so_path
+    finally:
+        for leftover in (tmp_c, tmp_so):
+            try:
+                os.remove(leftover)
+            except OSError:
+                pass
+
+
+_LOADED: Dict[str, object] = {}
+_LOAD_LOCK = threading.Lock()
+
+
+def _load_kernel(so_path: str):
+    with _LOAD_LOCK:
+        fn = _LOADED.get(so_path)
+        if fn is None:
+            lib = ctypes.CDLL(so_path)
+            fn = lib.repro_kernel
+            fn.argtypes = [ctypes.POINTER(ctypes.c_void_p)]
+            fn.restype = None
+            _LOADED[so_path] = fn
+        return fn
+
+
+# -- the libm-vs-numpy probe --------------------------------------------------
+
+_PROBE_CACHE: Dict[Tuple[str, str], Optional[FrozenSet[str]]] = {}
+_PROBE_LOCK = threading.Lock()
+
+
+def _probe_inputs() -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(0x5EED)
+    a = np.concatenate([
+        rng.uniform(-50.0, 50.0, 2000),
+        rng.uniform(-1e-3, 1e-3, 500),
+        rng.normal(0.0, 1e4, 500),
+        np.array([0.0, -0.0, 1.0, -1.0, np.inf, -np.inf, np.nan,
+                  np.pi, -np.pi, 1e-300, 1e300]),
+    ])
+    b = rng.permutation(a)
+    return a, b
+
+
+_PROBE_REFS = {
+    "math.exp": lambda a, b: np.exp(a),
+    "math.log": lambda a, b: np.log(np.abs(a) + 1e-6),
+    "math.sqrt": lambda a, b: np.sqrt(np.abs(a)),
+    "math.sin": lambda a, b: np.sin(a),
+    "math.cos": lambda a, b: np.cos(a),
+    "math.tanh": lambda a, b: np.tanh(a),
+    "arith.powf": lambda a, b: np.power(np.abs(a) + 0.5,
+                                        np.clip(b, -3.0, 3.0)),
+    "arith.maximumf": lambda a, b: np.maximum(a, b),
+    "arith.minimumf": lambda a, b: np.minimum(a, b),
+}
+
+# The C loop bodies mirror the reference preprocessing above so both
+# sides evaluate the candidate op over identical finite/special inputs.
+_PROBE_BODIES = {
+    "math.exp": "out[i] = exp(a[i]);",
+    "math.log": "out[i] = log(fabs(a[i]) + 1e-6);",
+    "math.sqrt": "out[i] = sqrt(fabs(a[i]));",
+    "math.sin": "out[i] = sin(a[i]);",
+    "math.cos": "out[i] = cos(a[i]);",
+    "math.tanh": "out[i] = tanh(a[i]);",
+    "arith.powf": ("double e = b[i] < -3.0 ? -3.0 : "
+                   "(b[i] > 3.0 ? 3.0 : b[i]); "
+                   "if (b[i] != b[i]) e = b[i]; "
+                   "out[i] = pow(fabs(a[i]) + 0.5, e);"),
+    "arith.maximumf": "out[i] = repro_fmax(a[i], b[i]);",
+    "arith.minimumf": "out[i] = repro_fmin(a[i], b[i]);",
+}
+
+
+def probe_supported(cc: str) -> Optional[FrozenSet[str]]:
+    """Which probed ops match numpy bit-for-bit under ``cc`` + libm.
+
+    Returns None when the probe itself cannot be built (no working
+    compiler): the caller falls back for every kernel.  Results are
+    cached per (compiler, cache-dir) for the process lifetime.
+    """
+    cache_key = (cc, cache_dir())
+    with _PROBE_LOCK:
+        if cache_key in _PROBE_CACHE:
+            return _PROBE_CACHE[cache_key]
+    names = sorted(_PROBE_BODIES)
+    cases = "\n".join(
+        f"        case {i}: {_PROBE_BODIES[name]} break;"
+        for i, name in enumerate(names))
+    source = (_HELPERS + f"""
+void repro_kernel(void **args) {{
+    const double *a = (const double *) args[0];
+    const double *b = (const double *) args[1];
+    double *out = (double *) args[2];
+    const int64_t *meta = (const int64_t *) args[3];
+    int64_t n = meta[0], op = meta[1];
+    for (int64_t i = 0; i < n; ++i) switch (op) {{
+{cases}
+    }}
+}}
+""")
+    key = fingerprint("cbackend-probe", source)
+    supported: Optional[FrozenSet[str]]
+    try:
+        so_path = compile_shared_object(cc, source, key)
+        fn = _load_kernel(so_path)
+        a, b = _probe_inputs()
+        out = np.empty_like(a)
+        passed = []
+        for i, name in enumerate(names):
+            meta = np.array([a.size, i], dtype=np.int64)
+            ptrs = (ctypes.c_void_p * 4)(a.ctypes.data, b.ctypes.data,
+                                         out.ctypes.data, meta.ctypes.data)
+            fn(ptrs)
+            with np.errstate(all="ignore"):
+                reference = _PROBE_REFS[name](a, b)
+            if np.array_equal(out, reference, equal_nan=True):
+                passed.append(name)
+        supported = frozenset(passed)
+    except (CCompileError, OSError):
+        supported = None
+    with _PROBE_LOCK:
+        _PROBE_CACHE[cache_key] = supported
+    return supported
+
+
+def reset_probe_cache() -> None:
+    """Forget probe results (tests that redirect ``REPRO_CC``)."""
+    with _PROBE_LOCK:
+        _PROBE_CACHE.clear()
+
+
+# -- the backend --------------------------------------------------------------
+
+_CBACKEND_CACHE: Dict[str, CompiledKernel] = {}
+_CBACKEND_LOCK = threading.Lock()
+
+
+class CBackend:
+    """``cbackend``: generated C, with clean fallback to ``compiled``."""
+
+    name = "cbackend"
+
+    def compile(self, module: Module, func_name: str, *,
+                cache: bool = True) -> CompiledKernel:
+        key = fingerprint("affine-cbackend", print_module(module), func_name)
+        if cache:
+            with _CBACKEND_LOCK:
+                hit = _CBACKEND_CACHE.get(key)
+                if hit is not None:
+                    return hit
+        kernel = self._compile(module, func_name, key, cache)
+        if cache:
+            with _CBACKEND_LOCK:
+                _CBACKEND_CACHE[key] = kernel
+        return kernel
+
+    def _compile(self, module: Module, func_name: str, key: str,
+                 cache: bool) -> CompiledKernel:
+        cc = find_cc()
+        if cc is None:
+            return self._fallback(module, func_name, cache,
+                                  "no C compiler (cc) on PATH")
+        supported = probe_supported(cc)
+        if supported is None:
+            return self._fallback(module, func_name, cache,
+                                  f"probe build failed under {cc!r}")
+        try:
+            source = CEmitter(module, func_name, supported).generate()
+        except UnsupportedAffineOp as error:
+            return self._fallback(module, func_name, cache, str(error))
+        try:
+            so_path = compile_shared_object(cc, source, key)
+            fn = _load_kernel(so_path)
+        except (CCompileError, OSError) as error:
+            return self._fallback(module, func_name, cache, str(error))
+        func = module.lookup(func_name)
+
+        def runner(buffers):
+            ptrs = (ctypes.c_void_p * len(buffers))(
+                *[buffer.ctypes.data for buffer in buffers])
+            fn(ptrs)
+
+        return CompiledKernel(
+            func_name=func_name, backend="cbackend", source=source,
+            key=key, flops=_static_flops(func),
+            _func=func, _runner=runner,
+        )
+
+    @staticmethod
+    def _fallback(module: Module, func_name: str, cache: bool,
+                  reason: str) -> CompiledKernel:
+        kernel = compile_numpy(module, func_name, backend="compiled",
+                               cache=cache)
+        return dataclasses.replace(kernel, fallback=f"cbackend: {reason}")
+
+    def __repr__(self) -> str:
+        return f"<backend {self.name}>"
+
+
+def clear_cbackend_cache() -> None:
+    """Drop in-memory artifacts (the on-disk .so cache is untouched)."""
+    with _CBACKEND_LOCK:
+        _CBACKEND_CACHE.clear()

@@ -156,15 +156,29 @@ class CompiledKernel:
     flops: int = 0
     vectorized_nests: int = 0
     scalar_nests: int = 0
+    tileable_nests: int = 0
+    fallback: str = ""
     _func: Optional[Operation] = field(default=None, repr=False)
     _fn: Optional[object] = field(default=None, repr=False)
     _interp: Optional[AffineInterpreter] = field(default=None, repr=False)
+    _runner: Optional[object] = field(default=None, repr=False)
 
-    def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    def run(self, inputs: Mapping[str, np.ndarray], *,
+            jobs: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Execute over ``inputs``.  ``jobs`` sizes the worker pool of the
+        ``compiled-parallel`` backend (None: ``REPRO_JOBS`` or the CPU
+        count, capped at 8); other backends ignore it."""
         if self.backend == "interpreter":
             return self._interp.run(inputs)
         buffers, output_names = bind_buffers(self._func, inputs)
-        self._fn(buffers)
+        if self._runner is not None:
+            self._runner(buffers)
+        elif self.backend == "compiled-parallel":
+            from repro.tensorpipe.parallel import make_tile
+
+            self._fn(buffers, make_tile(jobs))
+        else:
+            self._fn(buffers)
         arg_names = self._func.attr("arg_names")
         by_name = dict(zip(arg_names, buffers))
         return {name: by_name[name] for name in output_names}
@@ -176,14 +190,25 @@ class CompiledKernel:
 
 
 class AffineCompiler:
-    """Emits and compiles Python/numpy source for one affine function."""
+    """Emits and compiles Python/numpy source for one affine function.
 
-    def __init__(self, module: Module, func_name: str):
+    With ``tiled=True`` every vectorizable nest whose outermost output
+    dimension is a plain ``0..N`` parallel axis is emitted as a local
+    closure over a half-open row range and handed to a ``__tile`` runner
+    (see :mod:`repro.tensorpipe.parallel`): ``__tile(fn, extent, work)``
+    either calls ``fn(0, extent)`` serially or splits the rows across a
+    worker pool.  Reduction axes are never split, so results are bitwise
+    identical to the serial source for any tile count.
+    """
+
+    def __init__(self, module: Module, func_name: str, *,
+                 tiled: bool = False):
         self.module = module
         self.func = module.lookup(func_name)
         if self.func.attr("kernel_lang") != "affine":
             raise EverestError(f"{func_name} is not an affine-level function")
         self.func_name = func_name
+        self.tiled = tiled
         self.lines: List[str] = []
         self.indent = 1
         # Scalar-context expression for each Value (vars, literals, ivs).
@@ -191,6 +216,7 @@ class AffineCompiler:
         self.counter = 0
         self.vectorized_nests = 0
         self.scalar_nests = 0
+        self.tileable_nests = 0
 
     # -- source assembly -----------------------------------------------------
 
@@ -204,7 +230,9 @@ class AffineCompiler:
     def generate(self) -> str:
         """Emit the module-level source for this function."""
         entry = self.func.regions[0].entry
-        self.lines = ["def __kernel(args):"]
+        header = "def __kernel(args, __tile):" if self.tiled \
+            else "def __kernel(args):"
+        self.lines = [header]
         for i, arg in enumerate(entry.args):
             name = f"a{i}"
             self.expr[arg] = name
@@ -426,9 +454,21 @@ class AffineCompiler:
                 if len(patterns) != 1 or tuple(op.operands[1:]) != patterns[0]:
                     return False
 
+        # The tiled variant shards the outermost output dimension: the
+        # nest body is wrapped in a closure over a half-open row range
+        # ``[__t0, __t1)`` and dispatched through the ``__tile`` runner.
+        # Only a plain 0..N unit-step axis tiles (ranges then compose by
+        # plain slicing); reduction loops stay sequential inside every
+        # tile, so chunking cannot reorder a single accumulation.
+        tile_iv: Optional[Value] = None
+        if self.tiled and out_ivs:
+            outer = iv_to_loop[out_ivs[0]]
+            if outer.lower == 0 and outer.step == 1:
+                tile_iv = out_ivs[0]
+
         # -- emission ---------------------------------------------------------
         emitted: List[str] = []
-        base_indent = self.indent
+        base_indent = self.indent + (1 if tile_iv is not None else 0)
 
         def emit(text: str, extra: int = 0) -> None:
             emitted.append("    " * (base_indent + extra) + text)
@@ -443,8 +483,13 @@ class AffineCompiler:
                 var = self._fresh("g")
                 shape = tuple(iv_to_loop[o].extent if o is iv else 1
                               for o in out_ivs)
-                emit(f"{var} = np.arange({loop.lower}, {loop.upper}, "
-                     f"{loop.step}).reshape({shape!r})")
+                if iv is tile_iv:
+                    tile_shape = tuple(-1 if o is iv else 1 for o in out_ivs)
+                    emit(f"{var} = np.arange(__t0, __t1)"
+                         f".reshape({tile_shape!r})")
+                else:
+                    emit(f"{var} = np.arange({loop.lower}, {loop.upper}, "
+                         f"{loop.step}).reshape({shape!r})")
                 grid_of[iv] = var
             return grid_of[iv]
 
@@ -472,6 +517,8 @@ class AffineCompiler:
 
         def index_src_basic(value: Value, dim: Optional[int]) -> str:
             kind = index_kind(value)
+            if value is tile_iv:
+                return "__t0:__t1"
             if kind == "iv" and value in out_pos:
                 return iv_to_loop[value].slice_src(dim)
             if kind == "iv":
@@ -566,6 +613,21 @@ class AffineCompiler:
         except UnsupportedAffineOp:
             return False
 
+        if tile_iv is not None:
+            fn_name = self._fresh("__nest")
+            work = 1
+            for loop in loops:
+                work *= loop.extent
+            pad = "    " * self.indent
+            self.lines.append(f"{pad}def {fn_name}(__t0, __t1):")
+            self.lines.extend(emitted)
+            self.lines.extend(loop_lines)
+            self.lines.extend(body_lines)
+            self.lines.append(f"{pad}__tile({fn_name}, "
+                              f"{iv_to_loop[tile_iv].extent}, {work})")
+            self.tileable_nests += 1
+            return True
+
         self.lines.extend(emitted)     # grids (before the red loops)
         self.lines.extend(loop_lines)  # sequential reduction loops
         self.lines.extend(body_lines)  # vectorized body
@@ -651,19 +713,30 @@ def clear_compile_cache() -> None:
         _CACHE_HITS[0] = 0
 
 
-def compile_affine(module: Module, func_name: str, *,
-                   backend: str = "compiled",
-                   cache: bool = True) -> CompiledKernel:
-    """Compile one affine function to a :class:`CompiledKernel`.
+def _static_flops(func: Operation) -> int:
+    try:
+        return count_flops(func)
+    except UnsupportedAffineOp:
+        # e.g. negative-step loops: executable, but outside the static
+        # FLOP model.  Never let the internal exception escape — the
+        # contract is interpreter fallback, not a crash.
+        return 0
+
+
+def compile_numpy(module: Module, func_name: str, *,
+                  backend: str = "compiled", tiled: bool = False,
+                  cache: bool = True) -> CompiledKernel:
+    """The numpy compilation core behind the ``interpreter``,
+    ``compiled`` and ``compiled-parallel`` registry backends.
 
     Results are cached by content hash of the printed module plus the
-    function name, so repeated compiles of an identical module are free.
-    Functions containing unsupported ops degrade to the interpreter
-    backend (same results, interpreter speed); ``backend="interpreter"``
-    forces that path (baseline/differential runs).
+    function name and backend, so repeated compiles of an identical
+    module are free.  Functions containing unsupported ops degrade to
+    the interpreter backend (same results, interpreter speed);
+    ``backend="interpreter"`` forces that path (baseline/differential
+    runs).  ``tiled`` selects the sharded source variant executed
+    through :mod:`repro.tensorpipe.parallel`.
     """
-    if backend not in ("compiled", "interpreter"):
-        raise EverestError(f"unknown executor backend {backend!r}")
     key = fingerprint("affine-codegen", print_module(module), func_name,
                       backend)
     if cache:
@@ -673,39 +746,53 @@ def compile_affine(module: Module, func_name: str, *,
                 _CACHE_HITS[0] += 1
                 return hit
     func = module.lookup(func_name)
-    try:
-        flops = count_flops(func)
-    except UnsupportedAffineOp:
-        # e.g. negative-step loops: executable, but outside the static
-        # FLOP model.  Never let the internal exception escape — the
-        # contract is interpreter fallback, not a crash.
-        flops = 0
+    flops = _static_flops(func)
     kernel = None
-    if backend == "compiled":
-        compiler = AffineCompiler(module, func_name)
+    if backend != "interpreter":
+        compiler = AffineCompiler(module, func_name, tiled=tiled)
         try:
             source = compiler.generate()
             namespace = {"np": np}
             code = compile(source, f"<affine-codegen:{func_name}>", "exec")
             exec(code, namespace)
             kernel = CompiledKernel(
-                func_name=func_name, backend="compiled", source=source,
+                func_name=func_name, backend=backend, source=source,
                 key=key, flops=flops,
                 vectorized_nests=compiler.vectorized_nests,
                 scalar_nests=compiler.scalar_nests,
+                tileable_nests=compiler.tileable_nests,
                 _func=func, _fn=namespace["__kernel"],
             )
         except UnsupportedAffineOp:
             kernel = None
     if kernel is None:
+        fallback = backend if backend != "interpreter" else ""
         kernel = CompiledKernel(
             func_name=func_name, backend="interpreter", key=key, flops=flops,
+            fallback=fallback,
             _interp=AffineInterpreter(module, func_name),
         )
     if cache:
         with _CACHE_LOCK:
             _COMPILE_CACHE[key] = kernel
     return kernel
+
+
+def compile_affine(module: Module, func_name: str, *,
+                   backend: str = "compiled",
+                   cache: bool = True) -> CompiledKernel:
+    """Compile one affine function with the named executor backend.
+
+    ``backend`` is resolved through the
+    :mod:`repro.tensorpipe.backends` registry (``interpreter`` /
+    ``compiled`` / ``compiled-parallel`` / ``cbackend`` plus anything
+    registered by the embedding application); an unknown name raises
+    with the list of registered backends.  A backend instance is
+    accepted directly.
+    """
+    from repro.tensorpipe.backends import resolve_backend
+
+    return resolve_backend(backend).compile(module, func_name, cache=cache)
 
 
 def run_affine_compiled(module: Module, func_name: str,

@@ -1,0 +1,122 @@
+"""Tile runner for the ``compiled-parallel`` backend.
+
+The tiled source that :class:`~repro.tensorpipe.codegen.AffineCompiler`
+emits wraps each shardable nest in a closure ``fn(t0, t1)`` over a
+half-open row range and calls ``__tile(fn, extent, work)``.  This module
+provides that runner: small nests (``work`` below a threshold) run
+serially as ``fn(0, extent)``; large ones split ``[0, extent)`` into
+balanced contiguous chunks executed on a persistent thread pool.  The
+generated numpy code releases the GIL inside array operations, so even
+a modest pool overlaps memory stalls — and chunked evaluation of long
+expression chains additionally keeps tiles cache-resident, which is why
+the tiled path beats one full-array pass on large kernels.
+
+Chunking never changes results: the split axis is an output (parallel)
+dimension, every reduction loop runs in full inside each chunk, and
+chunks write disjoint row ranges of the destination buffers.
+
+Pool sizing: an explicit ``jobs`` argument (``basecamp run --jobs`` /
+``session.execute(jobs=...)``) wins, then the ``REPRO_JOBS`` environment
+variable, then ``os.cpu_count()`` capped at 8.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional
+
+from repro.errors import EverestError
+
+#: Minimum per-nest iteration count (loop-trip product) before the tile
+#: runner fans out; below it the closure runs serially — thread handoff
+#: would cost more than it buys.  Tests override via ``REPRO_TILE_THRESHOLD``.
+DEFAULT_TILE_THRESHOLD = 65536
+
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_SIZE = 0
+_POOL_LOCK = threading.Lock()
+
+
+def resolve_jobs(explicit: Optional[int] = None) -> int:
+    """The worker-pool size: explicit > ``REPRO_JOBS`` > cpu count (<=8)."""
+    if explicit is not None:
+        jobs = int(explicit)
+        if jobs < 1:
+            raise EverestError(f"jobs must be >= 1, got {jobs}")
+        return jobs
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise EverestError(f"REPRO_JOBS must be an integer, got {env!r}")
+        if jobs < 1:
+            raise EverestError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    return min(8, os.cpu_count() or 1)
+
+
+def tile_threshold() -> int:
+    env = os.environ.get("REPRO_TILE_THRESHOLD")
+    return int(env) if env else DEFAULT_TILE_THRESHOLD
+
+
+def _pool_for(jobs: int) -> ThreadPoolExecutor:
+    """The shared pool, grown (never shrunk) to at least ``jobs`` workers."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_SIZE < jobs:
+            if _POOL is not None:
+                _POOL.shutdown(wait=True)
+            _POOL = ThreadPoolExecutor(
+                max_workers=jobs, thread_name_prefix="repro-tile")
+            _POOL_SIZE = jobs
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (tests, interpreter shutdown)."""
+    global _POOL, _POOL_SIZE
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+def split_ranges(extent: int, parts: int) -> List[tuple]:
+    """Balanced contiguous half-open chunks covering ``[0, extent)``."""
+    parts = max(1, min(parts, extent))
+    base, rem = divmod(extent, parts)
+    ranges = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < rem else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def make_tile(jobs: Optional[int] = None,
+              threshold: Optional[int] = None) -> Callable:
+    """Build the ``__tile`` runner a tiled kernel invocation binds to."""
+    jobs = resolve_jobs(jobs)
+    limit = tile_threshold() if threshold is None else threshold
+
+    def __tile(fn: Callable[[int, int], None], extent: int,
+               work: int) -> None:
+        if jobs <= 1 or extent < 2 or work < limit:
+            fn(0, extent)
+            return
+        ranges = split_ranges(extent, jobs)
+        if len(ranges) == 1:
+            fn(0, extent)
+            return
+        pool = _pool_for(jobs)
+        futures = [pool.submit(fn, t0, t1) for t0, t1 in ranges]
+        for future in futures:
+            future.result()  # propagate worker exceptions
+
+    return __tile

@@ -1,0 +1,429 @@
+"""Tests for the executor-backend registry, the tiled parallel runner
+and the generated-C backend.
+
+The registry contract: ``interpreter``, ``compiled``,
+``compiled-parallel`` and ``cbackend`` produce bit-for-bit identical
+float64 results on the golden kernels; an unknown name raises listing
+the registered ones; the C backend either runs native code or falls
+back to ``compiled`` with the reason recorded — and a compiler crash
+mid-build can never poison the on-disk artifact cache.
+"""
+
+import os
+import stat
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import EverestError
+from repro.frontends.ekl import FIG3_MAJOR_ABSORBER, parse_kernel
+from repro.frontends.ekl.lower import lower_ekl_to_esn, lower_kernel_to_ekl
+from repro.ir import CanonicalizePass, FusionPass, verify
+from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+from repro.tensorpipe.affine_interp import run_affine
+from repro.tensorpipe.backends import (
+    BACKENDS,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.tensorpipe.cbackend import (
+    CBackend,
+    clear_cbackend_cache,
+    find_cc,
+    probe_supported,
+    reset_probe_cache,
+)
+from repro.tensorpipe.codegen import compile_affine
+from repro.tensorpipe.parallel import (
+    make_tile,
+    resolve_jobs,
+    shutdown_pool,
+    split_ranges,
+)
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+
+ALL_BACKENDS = ["interpreter", "compiled", "compiled-parallel", "cbackend"]
+
+GOLDEN = {
+    "elementwise": """
+kernel k {
+  index i: 5
+  input a[i]: f64
+  input b[i]: f64
+  output c
+  c = a * b + 2.0
+}
+""",
+    "contraction": """
+kernel k {
+  index i: 4, j: 5
+  input A[i, j]: f64
+  input x[j]: f64
+  output y
+  y = sum[j](A * x)
+}
+""",
+    "gather": """
+kernel k {
+  index i: 4
+  input idx[i]: i64
+  input table[9]: f64
+  output c
+  c = table[idx]
+}
+""",
+    "chain": """
+kernel k {
+  index i: 23, j: 3
+  input a[i, j]: f64
+  input b[i, j]: f64
+  output out
+  t0 = a * b + a
+  t1 = sin(t0) - b
+  out = sum[j](t1 * t1 + t0)
+}
+""",
+}
+
+
+def golden_inputs(name):
+    rng = np.random.default_rng(hash(name) % (2 ** 31))
+    if name == "elementwise":
+        return {"a": rng.normal(size=5), "b": rng.normal(size=5)}
+    if name == "contraction":
+        return {"A": rng.normal(size=(4, 5)), "x": rng.normal(size=5)}
+    if name == "gather":
+        return {"idx": np.array([0, 8, 3, 3]), "table": np.arange(9.0)}
+    return {"a": rng.normal(size=(23, 3)), "b": rng.normal(size=(23, 3))}
+
+
+def lower_optimized(source):
+    kernel = parse_kernel(source)
+    module = lower_teil_to_affine(
+        lower_esn_to_teil(
+            lower_ekl_to_esn(lower_kernel_to_ekl(kernel),
+                             canonicalize=False),
+            canonicalize=False,
+        ),
+        canonicalize=False,
+    )
+    CanonicalizePass().run(module)
+    FusionPass().run(module)
+    verify(module)
+    return kernel.name, module
+
+
+class TestRegistry:
+    def test_stock_backends_registered(self):
+        assert set(ALL_BACKENDS) <= set(registered_backends())
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_resolve_by_name(self, name):
+        assert resolve_backend(name).name == name
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(EverestError) as err:
+            resolve_backend("copmiled")
+        message = str(err.value)
+        assert "copmiled" in message
+        for name in ALL_BACKENDS:
+            assert name in message
+
+    def test_instance_passthrough(self):
+        backend = resolve_backend("compiled")
+        assert resolve_backend(backend) is backend
+
+    def test_non_conforming_object_rejected(self):
+        with pytest.raises(EverestError):
+            resolve_backend(object())
+
+    def test_register_custom_and_duplicate(self):
+        class Custom:
+            name = "custom-test"
+
+            def compile(self, module, func_name, *, cache=True):
+                return compile_affine(module, func_name, backend="compiled",
+                                      cache=cache)
+
+        try:
+            register_backend(Custom())
+            assert resolve_backend("custom-test").name == "custom-test"
+            with pytest.raises(EverestError):
+                register_backend(Custom())
+            register_backend(Custom(), replace=True)
+        finally:
+            BACKENDS.pop("custom-test", None)
+
+    def test_register_validates_interface(self):
+        class NoCompile:
+            name = "broken"
+
+        with pytest.raises(EverestError):
+            register_backend(NoCompile())
+        with pytest.raises(EverestError):
+            register_backend(type("Anon", (), {"name": "",
+                                               "compile": lambda s: 0})())
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_golden_bitwise(self, name, backend):
+        func_name, module = lower_optimized(GOLDEN[name])
+        inputs = golden_inputs(name)
+        expected = run_affine(module, func_name, inputs)
+        kernel = compile_affine(module, func_name, backend=backend)
+        got = kernel.run(inputs)
+        assert set(got) == set(expected)
+        for key in expected:
+            np.testing.assert_array_equal(
+                got[key], expected[key],
+                err_msg=f"{backend} diverges on {name}:{key}")
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_fig3_bitwise(self, backend, rrtmg_inputs):
+        func_name, module = lower_optimized(FIG3_MAJOR_ABSORBER)
+        expected = run_affine(module, func_name, rrtmg_inputs)
+        kernel = compile_affine(module, func_name, backend=backend)
+        got = kernel.run(rrtmg_inputs)
+        for key in expected:
+            np.testing.assert_array_equal(got[key], expected[key])
+
+
+class TestParallel:
+    def test_resolve_jobs_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(5) == 5
+        assert resolve_jobs() == 3
+
+    def test_resolve_jobs_default_capped(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert 1 <= resolve_jobs() <= 8
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two"])
+    def test_resolve_jobs_rejects_invalid_env(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(EverestError):
+            resolve_jobs()
+
+    def test_resolve_jobs_rejects_invalid_explicit(self):
+        with pytest.raises(EverestError):
+            resolve_jobs(0)
+
+    def test_split_ranges_cover_and_balance(self):
+        for extent in (1, 2, 7, 64, 97):
+            for parts in (1, 2, 3, 8, 200):
+                ranges = split_ranges(extent, parts)
+                assert ranges[0][0] == 0 and ranges[-1][1] == extent
+                sizes = [t1 - t0 for t0, t1 in ranges]
+                assert sum(sizes) == extent
+                assert max(sizes) - min(sizes) <= 1
+                for (_, a), (b, _) in zip(ranges, ranges[1:]):
+                    assert a == b
+
+    def test_tile_runner_serial_below_threshold(self):
+        calls = []
+        tile = make_tile(jobs=4, threshold=1000)
+        tile(lambda t0, t1: calls.append((t0, t1)), 8, work=10)
+        assert calls == [(0, 8)]
+
+    def test_tile_runner_splits_above_threshold(self):
+        calls = []
+        tile = make_tile(jobs=4, threshold=1)
+        tile(lambda t0, t1: calls.append((t0, t1)), 8, work=10)
+        assert sorted(calls) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_tile_runner_propagates_worker_exceptions(self):
+        tile = make_tile(jobs=2, threshold=1)
+
+        def boom(t0, t1):
+            raise ValueError("worker failed")
+
+        with pytest.raises(ValueError):
+            tile(boom, 8, work=10)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 3, 5])
+    def test_forced_tiling_is_bitwise(self, monkeypatch, jobs):
+        monkeypatch.setenv("REPRO_TILE_THRESHOLD", "1")
+        func_name, module = lower_optimized(GOLDEN["chain"])
+        inputs = golden_inputs("chain")
+        expected = compile_affine(module, func_name,
+                                  backend="compiled").run(inputs)
+        kernel = compile_affine(module, func_name,
+                                backend="compiled-parallel")
+        assert kernel.tileable_nests > 0
+        got = kernel.run(inputs, jobs=jobs)
+        for key in expected:
+            np.testing.assert_array_equal(got[key], expected[key])
+
+    def test_shutdown_pool_allows_reuse(self):
+        tile = make_tile(jobs=2, threshold=1)
+        out = []
+        tile(lambda t0, t1: out.append((t0, t1)), 4, work=10)
+        shutdown_pool()
+        tile2 = make_tile(jobs=2, threshold=1)
+        out2 = []
+        tile2(lambda t0, t1: out2.append((t0, t1)), 4, work=10)
+        assert sorted(out) == sorted(out2)
+
+    def test_session_execute_accepts_jobs(self):
+        from repro.pipeline.session import PipelineSession
+
+        session = PipelineSession()
+        rng = np.random.default_rng(9)
+        inputs = {"a": rng.normal(size=(23, 3)),
+                  "b": rng.normal(size=(23, 3))}
+        got = session.execute(GOLDEN["chain"], inputs,
+                              backend="compiled-parallel", jobs=2)
+        ref = session.execute(GOLDEN["chain"], inputs,
+                              backend="interpreter")
+        np.testing.assert_array_equal(got.outputs["out"],
+                                      ref.outputs["out"])
+
+
+@pytest.fixture
+def isolated_cbackend(monkeypatch, tmp_path):
+    """Redirect the cbackend's disk cache and drop in-memory state so
+    REPRO_CC / cache assertions see a fresh world."""
+    monkeypatch.setenv("REPRO_CBACKEND_CACHE", str(tmp_path))
+    clear_cbackend_cache()
+    reset_probe_cache()
+    yield tmp_path
+    clear_cbackend_cache()
+    reset_probe_cache()
+
+
+class TestCBackend:
+    def test_runs_native_or_records_fallback(self):
+        func_name, module = lower_optimized(GOLDEN["elementwise"])
+        kernel = compile_affine(module, func_name, backend="cbackend",
+                                cache=False)
+        if kernel.backend == "cbackend":
+            assert not kernel.fallback
+            assert "repro_kernel" in kernel.source
+        else:
+            assert kernel.backend == "compiled"
+            assert kernel.fallback.startswith("cbackend:")
+
+    def test_probe_rejected_op_falls_back_bitwise(self, isolated_cbackend):
+        source = """
+kernel k {
+  index i: 12
+  input a[i]: f64
+  output out
+  out = exp(a) + tanh(a)
+}
+"""
+        func_name, module = lower_optimized(source)
+        inputs = {"a": np.random.default_rng(11).normal(size=12)}
+        expected = run_affine(module, func_name, inputs)
+        kernel = compile_affine(module, func_name, backend="cbackend",
+                                cache=False)
+        cc = find_cc()
+        supported = probe_supported(cc) if cc else None
+        if supported is not None and {"math.exp", "math.tanh"} <= supported:
+            assert kernel.backend == "cbackend"  # libm matches here
+        else:
+            assert kernel.backend == "compiled"
+            assert "cbackend:" in kernel.fallback
+        got = kernel.run(inputs)
+        for key in expected:
+            np.testing.assert_array_equal(got[key], expected[key])
+
+    def test_no_compiler_falls_back_cleanly(self, isolated_cbackend,
+                                            monkeypatch):
+        monkeypatch.setattr("repro.tensorpipe.cbackend.find_cc",
+                            lambda: None)
+        func_name, module = lower_optimized(GOLDEN["elementwise"])
+        kernel = CBackend().compile(module, func_name, cache=False)
+        assert kernel.backend == "compiled"
+        assert "no C compiler" in kernel.fallback
+        inputs = golden_inputs("elementwise")
+        expected = run_affine(module, func_name, inputs)
+        got = kernel.run(inputs)
+        np.testing.assert_array_equal(got["c"], expected["c"])
+
+    def test_failing_cc_leaves_no_partial_artifact(self, isolated_cbackend,
+                                                   monkeypatch, tmp_path):
+        # A compiler that writes garbage to its -o target and then dies:
+        # the atomic-rename install must keep the poison out of the
+        # cache, and compilation must degrade to the numpy backend.
+        poison_cc = tmp_path / "poison-cc.sh"
+        poison_cc.write_text(
+            "#!/bin/sh\n"
+            "out=\"\"\n"
+            "prev=\"\"\n"
+            "for arg in \"$@\"; do\n"
+            "  if [ \"$prev\" = \"-o\" ]; then out=\"$arg\"; fi\n"
+            "  prev=\"$arg\"\n"
+            "done\n"
+            "if [ -n \"$out\" ]; then echo POISON > \"$out\"; fi\n"
+            "exit 1\n")
+        poison_cc.chmod(poison_cc.stat().st_mode | stat.S_IEXEC)
+        monkeypatch.setenv("REPRO_CC", str(poison_cc))
+        reset_probe_cache()
+        func_name, module = lower_optimized(GOLDEN["elementwise"])
+        kernel = CBackend().compile(module, func_name, cache=False)
+        assert kernel.backend == "compiled"
+        assert "cbackend:" in kernel.fallback
+        leftovers = [name for name in os.listdir(isolated_cbackend)
+                     if name.endswith(".so") or name.startswith(".")]
+        assert leftovers == [], \
+            f"poisoned/partial artifacts left behind: {leftovers}"
+        inputs = golden_inputs("elementwise")
+        expected = run_affine(module, func_name, inputs)
+        np.testing.assert_array_equal(kernel.run(inputs)["c"],
+                                      expected["c"])
+
+    def test_disk_cache_reused_across_instances(self, isolated_cbackend):
+        if find_cc() is None or probe_supported(find_cc()) is None:
+            pytest.skip("no working C compiler on this host")
+        func_name, module = lower_optimized(GOLDEN["elementwise"])
+        first = CBackend().compile(module, func_name)
+        assert first.backend == "cbackend"
+        artifacts = [name for name in os.listdir(isolated_cbackend)
+                     if name.endswith(".so")]
+        assert artifacts  # probe + kernel objects installed atomically
+        clear_cbackend_cache()
+        second = CBackend().compile(module.clone(), func_name)
+        assert second.backend == "cbackend"
+        assert second.key == first.key
+
+    def test_gather_wraps_negative_semantics(self, isolated_cbackend):
+        # Golden gather uses in-range indices; the emitted C must match
+        # numpy's advanced indexing bit-for-bit either way.
+        func_name, module = lower_optimized(GOLDEN["gather"])
+        inputs = golden_inputs("gather")
+        expected = run_affine(module, func_name, inputs)
+        kernel = CBackend().compile(module, func_name, cache=False)
+        got = kernel.run(inputs)
+        np.testing.assert_array_equal(got["c"], expected["c"])
+
+
+class TestCLI:
+    def test_run_backend_and_jobs(self, tmp_path, capsys):
+        from repro.basecamp.cli import main
+
+        source = tmp_path / "k.ekl"
+        source.write_text(GOLDEN["chain"])
+        code = main(["run", str(source), "--random-seed", "1",
+                     "--backend", "compiled-parallel", "--jobs", "2",
+                     "--time"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=compiled-parallel" in out
+
+    def test_run_unknown_backend_lists_available(self, tmp_path, capsys):
+        from repro.basecamp.cli import main
+
+        source = tmp_path / "k.ekl"
+        source.write_text(GOLDEN["elementwise"])
+        code = main(["run", str(source), "--random-seed", "1",
+                     "--backend", "copmiled"])
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "unknown executor backend" in err
+        assert "compiled-parallel" in err

@@ -319,14 +319,19 @@ def generate_ekl_case(seed: int):
     return source, inputs
 
 
-def check_executor(seed: int) -> None:
+def check_executor(seed: int, backend: str = "compiled") -> None:
     """Differential executor check for one seed; raises on violation.
 
-    The compiled backend must match the affine interpreter bit-for-bit
-    at opt levels 0, 1 and 2, and both must match the EKL interpreter's
-    language semantics to float64 tolerance (the EKL interpreter sums
-    with numpy pairwise reduction, so bitwise equality is not expected
-    there).
+    ``backend`` (any name registered in
+    :mod:`repro.tensorpipe.backends`) must match the affine interpreter
+    bit-for-bit at opt levels 0, 1 and 2 — levels 1+ run the fusion
+    pass after canonicalization, so fused regions are covered — and
+    must match the EKL interpreter's language semantics to float64
+    tolerance (the EKL interpreter sums with numpy pairwise reduction,
+    so bitwise equality is not expected there).  The ``cbackend`` may
+    record a fallback (probe-rejected op, no compiler) — that is a
+    clean degradation, not a failure; every other backend must compile
+    for real.
     """
     import numpy as np
 
@@ -335,7 +340,7 @@ def check_executor(seed: int) -> None:
         lower_ekl_to_esn,
         lower_kernel_to_ekl,
     )
-    from repro.ir import CanonicalizePass, InlinePass
+    from repro.ir import CanonicalizePass, FusionPass, InlinePass
     from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
     from repro.tensorpipe.affine_interp import run_affine
     from repro.tensorpipe.codegen import compile_affine
@@ -358,17 +363,20 @@ def check_executor(seed: int) -> None:
             InlinePass().run(module)
         if opt_level >= 1:
             CanonicalizePass().run(module)
+            FusionPass().run(module)
+            verify(module)
         interpreted = run_affine(module, kernel.name, inputs)
-        compiled = compile_affine(module, kernel.name)
-        if compiled.backend != "compiled":
+        compiled = compile_affine(module, kernel.name, backend=backend)
+        degraded = compiled.backend != backend
+        if degraded and not (backend == "cbackend" and compiled.fallback):
             raise AssertionError(
-                f"seed {seed}: fell back to the interpreter at "
-                f"-O{opt_level}\n{source}")
+                f"seed {seed}: {backend} fell back to {compiled.backend} "
+                f"at -O{opt_level}\n{source}")
         got = compiled.run(inputs)
         for name, value in interpreted.items():
             if not np.array_equal(got[name], value):
                 raise AssertionError(
-                    f"seed {seed}: compiled != interpreted for {name!r} "
+                    f"seed {seed}: {backend} != interpreted for {name!r} "
                     f"at -O{opt_level}\n{source}")
             np.testing.assert_allclose(
                 got[name], expected[name], rtol=1e-7, atol=1e-9,
@@ -404,8 +412,18 @@ def main(argv=None) -> int:
                         help="roundtrip: print->parse->print fixpoint; "
                              "exec: compiled executor vs. interpreter "
                              "differential")
+    parser.add_argument("--backend", default="compiled",
+                        help="executor backend to fuzz in exec mode "
+                             "(any name registered in "
+                             "repro.tensorpipe.backends)")
     args = parser.parse_args(argv)
-    check = check_roundtrip if args.mode == "roundtrip" else check_executor
+    if args.mode == "roundtrip":
+        check = check_roundtrip
+        label = args.mode
+    else:
+        def check(seed):
+            check_executor(seed, backend=args.backend)
+        label = f"{args.mode}:{args.backend}"
     failures = 0
     for seed in range(args.start, args.start + args.count):
         try:
@@ -413,7 +431,7 @@ def main(argv=None) -> int:
         except Exception as error:  # pragma: no cover - campaign reporting
             failures += 1
             print(f"seed {seed}: FAIL: {error}", file=sys.stderr)
-    print(f"irfuzz[{args.mode}]: {args.count - failures}/{args.count} "
+    print(f"irfuzz[{label}]: {args.count - failures}/{args.count} "
           f"seeds ok (seeds {args.start}..{args.start + args.count - 1})")
     return 1 if failures else 0
 
