@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-runtime bench-ir bench-exec fuzz-smoke \
-	fuzz-exec-smoke fuzz-runtime-smoke fuzz-runtime coverage docs-check \
-	examples lint all
+.PHONY: test bench-smoke bench-runtime bench-ir bench-exec bench-serve \
+	serve-smoke fuzz-smoke fuzz-exec-smoke fuzz-runtime-smoke \
+	fuzz-runtime coverage docs-check examples lint all
 
 all: test docs-check
 
@@ -15,6 +15,8 @@ test: lint
 	$(MAKE) bench-ir
 	$(MAKE) bench-exec
 	$(MAKE) bench-runtime
+	$(MAKE) bench-serve
+	$(MAKE) serve-smoke
 
 # bench_*.py does not match pytest's default file glob; list explicitly.
 bench-smoke:
@@ -46,6 +48,21 @@ bench-exec:
 	$(PYTHON) -m pytest -x -q --benchmark-disable \
 		benchmarks/bench_affine_exec.py
 	@echo "results recorded in BENCH_affine_exec.json"
+
+# The multi-tenant daemon under load: >= 1,000 mixed compile/execute/
+# runtime requests from concurrent HTTP clients, the single-flight
+# dedup burst and the 429 backpressure contract; records p50/p99
+# latency and cache hit rate in BENCH_serve.json.
+bench-serve:
+	$(PYTHON) -m pytest -x -q --benchmark-disable \
+		benchmarks/bench_serve.py
+	@echo "results recorded in BENCH_serve.json"
+
+# End-to-end daemon smoke through the real CLI entry point: boot
+# `basecamp serve` as a subprocess, fire concurrent clients, assert the
+# shared-cache hit rate and a clean SIGINT shutdown.
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
 
 # A quick fuzz campaign in both modes (the full 200-seed runs are in
 # tier-1 tests; `python tools/irfuzz.py --count N [--mode exec]` goes

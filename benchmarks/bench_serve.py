@@ -1,0 +1,264 @@
+"""BENCH-SERVE: the multi-tenant compile-and-run daemon under load.
+
+ROADMAP item 1 ("millions of users") claims the SDK can serve many
+tenants from one long-running process by sharing the PipelineSession
+stage cache, deduplicating identical in-flight compiles and rejecting
+excess load instead of collapsing.  This benchmark regenerates that
+claim against a real :class:`~repro.basecamp.serve.BasecampServer` over
+HTTP:
+
+* ``serve`` — >= 1,000 requests from concurrent synthetic clients over
+  a mixed compile/execute/runtime workload: p50/p99 latency, throughput
+  and the shared-cache hit rate;
+* ``singleflight`` — a burst of identical concurrent compiles of a
+  fresh kernel must execute the HLS stage exactly once;
+* ``backpressure`` — with a saturated 2-worker daemon, excess clients
+  are rejected 429-with-Retry-After and admitted ones still succeed.
+
+Results land in ``BENCH_serve.json`` (run via ``make bench-serve``)
+under a wall-clock budget so daemon regressions fail loudly.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.basecamp.serve import BasecampServer
+from repro.pipeline import PipelineSession
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+_RESULTS = {}
+_T0 = time.perf_counter()
+_WALL_BUDGET_SECONDS = 120.0
+
+N_REQUESTS = 1200
+N_CLIENTS = 16
+
+KERNEL_TEMPLATE = """
+kernel bench{i} {{
+  index i: 32, j: 4
+  input a[i, j]: f64
+  input b[i, j]: f64
+  output c
+  c = sum[j](a * b + {i}.0)
+}}
+"""
+
+BURST_KERNEL = """
+kernel burst {
+  index i: 16
+  input a[i]: f64
+  output c
+  c = a * a + 1.0
+}
+"""
+
+
+def _record(section, payload):
+    _RESULTS[section] = payload
+    _RESULTS["wall_clock_seconds"] = round(time.perf_counter() - _T0, 3)
+    _RESULTS["wall_clock_budget_seconds"] = _WALL_BUDGET_SECONDS
+    RESULTS_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True)
+                            + "\n")
+
+
+def _post(url, endpoint, payload, timeout=60):
+    request = urllib.request.Request(
+        f"{url}/{endpoint}", data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), \
+                dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def _percentile(sorted_values, q):
+    index = min(len(sorted_values) - 1,
+                int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _request_for(i):
+    """The mixed workload: 60% compile, 25% execute, 15% runtime."""
+    kernel = KERNEL_TEMPLATE.format(i=i % 6)
+    slot = i % 20
+    if slot < 12:
+        fmt = None if i % 2 else "f32"
+        return "compile", {"source": kernel, "number_format": fmt}
+    if slot < 17:
+        return "execute", {"source": kernel, "random_seed": 0}
+    return "runtime", {"policy": "heft" if i % 2 else "min-load",
+                       "tasks": 10, "nodes": 2, "seed": i % 4}
+
+
+def test_mixed_workload_under_concurrent_clients():
+    session = PipelineSession()
+    server = BasecampServer(port=0, session=session, max_workers=8,
+                            queue_limit=N_REQUESTS).start()
+    latencies = {"compile": [], "execute": [], "runtime": []}
+    statuses = []
+    lock = threading.Lock()
+
+    def client(i):
+        endpoint, payload = _request_for(i)
+        start = time.perf_counter()
+        status, _, _ = _post(server.url, endpoint, payload)
+        elapsed = time.perf_counter() - start
+        with lock:
+            statuses.append(status)
+            latencies[endpoint].append(elapsed)
+
+    try:
+        wall_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            list(pool.map(client, range(N_REQUESTS)))
+        wall = time.perf_counter() - wall_start
+        stats = server.service.stats()
+    finally:
+        server.shutdown()
+
+    assert len(statuses) == N_REQUESTS
+    assert all(status == 200 for status in statuses)
+    every = sorted(t for series in latencies.values() for t in series)
+    cache = stats["cache"]
+    payload = {
+        "requests": N_REQUESTS,
+        "clients": N_CLIENTS,
+        "mix": {name: len(series) for name, series in latencies.items()},
+        "p50_ms": round(_percentile(every, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(every, 0.99) * 1e3, 3),
+        "throughput_rps": round(N_REQUESTS / wall, 1),
+        "wall_seconds": round(wall, 3),
+        "cache_hit_rate": round(cache["hit_rate"], 4),
+        "cache_entries": cache["entries"],
+        "singleflight_waits": stats["singleflight"]["waits"],
+        "rejected": stats["server"]["rejected"],
+    }
+    for name, series in latencies.items():
+        series.sort()
+        payload[f"{name}_p50_ms"] = round(_percentile(series, 0.50) * 1e3, 3)
+        payload[f"{name}_p99_ms"] = round(_percentile(series, 0.99) * 1e3, 3)
+    # The shared cache is the point: with 6 distinct kernels behind 1,200
+    # requests, the overwhelming majority of stage lookups must hit.
+    assert payload["cache_hit_rate"] > 0.9
+    _record("serve", payload)
+    print(f"\n  serve: {N_REQUESTS} requests / {N_CLIENTS} clients: "
+          f"p50 {payload['p50_ms']}ms p99 {payload['p99_ms']}ms "
+          f"({payload['throughput_rps']} req/s, "
+          f"hit rate {payload['cache_hit_rate']:.1%})")
+
+
+def test_single_flight_burst_executes_stage_once():
+    session = PipelineSession()
+    release = threading.Event()
+    hls_runs = []
+    original = session.registry.get("hls")
+
+    def gated_hls(payload, **params):
+        hls_runs.append(1)
+        assert release.wait(timeout=60)
+        return original.fn(payload, **params)
+
+    session.register("hls", gated_hls, replace=True)
+    clients = 64
+    server = BasecampServer(port=0, session=session, max_workers=16,
+                            queue_limit=clients).start()
+    try:
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            futures = [
+                pool.submit(_post, server.url, "compile",
+                            {"source": BURST_KERNEL})
+                for _ in range(clients)
+            ]
+            deadline = time.monotonic() + 60
+            while server.service.stats()["server"]["active"] < min(
+                    clients, 16 + server.service.queue_limit):
+                if time.monotonic() > deadline or all(
+                        f.done() for f in futures):
+                    break
+                time.sleep(0.005)
+            release.set()
+            replies = [f.result(timeout=60) for f in futures]
+        waits = session.singleflight.waits
+    finally:
+        server.shutdown()
+
+    assert all(status == 200 for status, _, _ in replies)
+    assert len(hls_runs) == 1, \
+        "identical concurrent compiles must execute the stage once"
+    _record("singleflight", {
+        "burst_clients": clients,
+        "stage_executions": len(hls_runs),
+        "waiters_observed": waits,
+    })
+    print(f"\n  singleflight: {clients} identical concurrent compiles -> "
+          f"{len(hls_runs)} stage execution(s), {waits} waiter(s)")
+
+
+def test_backpressure_rejects_excess_load():
+    session = PipelineSession()
+    release = threading.Event()
+    original = session.registry.get("hls")
+
+    def gated_hls(payload, **params):
+        assert release.wait(timeout=60)
+        return original.fn(payload, **params)
+
+    session.register("hls", gated_hls, replace=True)
+    max_workers, queue_limit, clients = 2, 4, 24
+    capacity = max_workers + queue_limit
+    server = BasecampServer(port=0, session=session,
+                            max_workers=max_workers,
+                            queue_limit=queue_limit).start()
+    try:
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            futures = [
+                pool.submit(_post, server.url, "compile",
+                            {"source": BURST_KERNEL})
+                for _ in range(clients)
+            ]
+            deadline = time.monotonic() + 60
+            while server.service.stats()["server"]["active"] < capacity:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            # Give the stragglers time to be turned away, then release.
+            while server.service.stats()["server"]["rejected"] \
+                    < clients - capacity:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            release.set()
+            replies = [f.result(timeout=60) for f in futures]
+    finally:
+        server.shutdown()
+
+    ok = [r for r in replies if r[0] == 200]
+    rejected = [r for r in replies if r[0] == 429]
+    assert len(ok) == capacity
+    assert len(rejected) == clients - capacity
+    hints = [int(headers["Retry-After"]) for _, _, headers in rejected]
+    assert all(hint >= 1 for hint in hints)
+    _record("backpressure", {
+        "clients": clients,
+        "capacity": capacity,
+        "ok": len(ok),
+        "rejected": len(rejected),
+        "retry_after_max": max(hints),
+    })
+    print(f"\n  backpressure: {clients} clients vs capacity {capacity}: "
+          f"{len(ok)} served, {len(rejected)} rejected (Retry-After <= "
+          f"{max(hints)}s)")
+
+
+def test_wall_clock_budget():
+    elapsed = time.perf_counter() - _T0
+    assert elapsed < _WALL_BUDGET_SECONDS, \
+        f"bench-serve took {elapsed:.1f}s (budget {_WALL_BUDGET_SECONDS}s)"

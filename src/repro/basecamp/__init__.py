@@ -7,3 +7,7 @@ which provides a single point of access to the users of the SDK."
 from repro.basecamp.cli import main
 
 __all__ = ["main"]
+
+# The serve daemon (repro.basecamp.serve) is imported lazily by the
+# `basecamp serve` subcommand; import it directly for the library API:
+#   from repro.basecamp.serve import BasecampServer

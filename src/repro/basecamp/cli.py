@@ -19,6 +19,9 @@ Subcommands mirror the SDK's phases (paper §IV):
 * ``basecamp runtime --policy heft|round-robin|min-load|all`` — run a
   synthetic workflow through the event-driven runtime engine, optionally
   injecting a node failure (``--fail node1@5.0``);
+* ``basecamp serve`` — the long-running multi-tenant compile-and-run
+  daemon (JSON over HTTP, shared stage cache, single-flight dedup,
+  admission control — see :mod:`repro.basecamp.serve`);
 * ``basecamp info`` — platform catalog.
 
 The EKL-compiling subcommands all run through one process-wide
@@ -108,46 +111,24 @@ def cmd_pipeline(args) -> int:
 def _gather_run_inputs(module, func_name: str, args):
     """Build the input dict for ``basecamp run`` from --input/--random-seed.
 
-    ``--input name=file.npy`` loads arrays; with ``--random-seed`` every
-    remaining float input is drawn uniform [0, 1) and every integer input
-    is zero-filled (always in-range for gather tables).
+    ``--input name=file.npy`` loads arrays; the actual assembly (and the
+    seed-filling of unbound inputs) is the same
+    :func:`repro.basecamp.inputs.gather_inputs` the serve daemon uses.
     """
     import numpy as np
 
-    from repro.ir import types as T
+    from repro.basecamp.inputs import gather_inputs
 
-    func = module.lookup(func_name)
-    entry = func.regions[0].entry
-    arg_names = func.attr("arg_names")
-    num_outputs = func.attr("num_outputs") or 0
     explicit = {}
     for spec in args.input or []:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
             raise EverestError(f"--input wants NAME=FILE.npy, got {spec!r}")
         explicit[name] = np.load(path)
-    rng = np.random.default_rng(args.random_seed) \
-        if args.random_seed is not None else None
-    inputs = {}
-    for i, arg in enumerate(entry.args[:len(entry.args) - num_outputs]):
-        name = arg_names[i]
-        ref = arg.type
-        if name in explicit:
-            inputs[name] = explicit.pop(name)
-            continue
-        if rng is None:
-            raise EverestError(
-                f"missing input {name!r} (pass --input {name}=file.npy "
-                "or --random-seed N)")
-        shape = tuple(ref.shape)
-        if isinstance(ref.element, T.FloatType):
-            inputs[name] = rng.uniform(0.0, 1.0, shape)
-        else:
-            inputs[name] = np.zeros(shape, dtype=np.int64)
-    if explicit:
-        raise EverestError(
-            "unknown --input name(s): " + ", ".join(sorted(explicit)))
-    return inputs
+    return gather_inputs(
+        module, func_name, explicit, args.random_seed,
+        missing_hint="pass --input {name}=file.npy or --random-seed N",
+        unknown_label="--input")
 
 
 def cmd_run(args) -> int:
@@ -283,6 +264,30 @@ def cmd_runtime(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.basecamp.serve import BasecampServer
+
+    server = BasecampServer(host=args.host, port=args.port,
+                            max_workers=args.max_workers,
+                            queue_limit=args.queue_limit,
+                            quiet=not args.verbose)
+    host, port = server.address
+    print(f"basecamp serve: listening on http://{host}:{port} "
+          f"({args.max_workers} worker(s), queue {args.queue_limit}); "
+          "POST /compile /execute /runtime, GET /stats /healthz",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        stats = server.service.stats()["server"]
+        print(f"basecamp serve: shut down after {stats['requests']} "
+              f"request(s) ({stats['rejected']} rejected)", flush=True)
+    return 0
+
+
 def cmd_info(args) -> int:
     from repro.platforms import CATALOG
 
@@ -392,6 +397,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail", default=None, metavar="NODE@SIM_SECONDS",
                    help="inject a node failure mid-run, e.g. node1@5.0")
     p.set_defaults(fn=cmd_runtime)
+
+    p = sub.add_parser("serve",
+                       help="run the multi-tenant compile-and-run daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="TCP port (0 binds an ephemeral port and prints it)")
+    p.add_argument("--max-workers", type=int, default=4, metavar="N",
+                   help="max concurrently executing requests")
+    p.add_argument("--queue-limit", type=int, default=16, metavar="N",
+                   help="max queued requests before 429 rejection")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request to stderr")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="platform catalog")
     p.set_defaults(fn=cmd_info)

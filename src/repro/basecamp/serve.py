@@ -1,0 +1,413 @@
+"""``basecamp serve`` — the multi-tenant compile-and-run daemon.
+
+The SDK's phases (PipelineSession stage caching, the executor backends,
+the RuntimeEngine) normally live for one CLI invocation.  This module
+keeps them alive behind a long-running HTTP daemon (stdlib
+:class:`~http.server.ThreadingHTTPServer`, JSON request/response) so
+many tenants share one process:
+
+* **one cross-request session** — every ``compile``/``execute`` request
+  runs through a single :class:`~repro.pipeline.PipelineSession`, so the
+  content-hash stage cache is shared by all clients;
+* **single-flight deduplication** — identical in-flight compiles execute
+  their stages exactly once (the session's ``run_stage`` blocks waiters
+  on the leader's result; see ``SingleFlightStats``);
+* **admission control** — at most ``max_workers`` requests execute
+  concurrently and at most ``queue_limit`` wait; beyond that the daemon
+  rejects with ``429`` and a ``Retry-After`` hint derived from recent
+  request latency.
+
+Endpoints (all JSON):
+
+==================  ===================================================
+``POST /compile``   ``{source, opt_level?, number_format?}`` -> HLS
+                    report scalars + the stage-chain fingerprint
+``POST /execute``   ``{source, backend?, opt_level?, jobs?,
+                    random_seed?, inputs?, full_outputs?}`` -> output
+                    summaries (shape/dtype/mean, values on request)
+``POST /runtime``   ``{policy?, nodes?, tasks?, seed?, fpga_fraction?}``
+                    -> per-policy makespan/transfers/rescheduled
+``GET /stats``      cache, single-flight and admission counters
+``GET /healthz``    liveness probe
+==================  ===================================================
+
+SDK errors map to ``400`` with ``{"error": ...}``; saturation maps to
+``429``; anything unexpected maps to ``500``.  See ``docs/serve.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import EverestError
+from repro.pipeline import PipelineSession
+
+#: Upper bound on request bodies: kernels and input arrays are small;
+#: anything bigger is a client bug, not a workload.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Default daemon sizing: modest concurrency, a queue a few times deeper.
+DEFAULT_MAX_WORKERS = 4
+DEFAULT_QUEUE_LIMIT = 16
+
+
+class ServiceSaturated(EverestError):
+    """The daemon's execute+queue capacity is full (HTTP 429).
+
+    ``retry_after`` is the seconds hint clients should back off for,
+    derived from an exponential moving average of recent request
+    latency times the current queue depth.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class BasecampService:
+    """Endpoint logic, independent of the HTTP plumbing.
+
+    Owns the shared :class:`PipelineSession` and the admission-control
+    state; the HTTP handler (and the tests, directly) call
+    :meth:`handle`.
+    """
+
+    def __init__(self, *, session: Optional[PipelineSession] = None,
+                 max_workers: int = DEFAULT_MAX_WORKERS,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT):
+        if max_workers < 1:
+            raise EverestError(
+                f"max_workers must be >= 1, got {max_workers}")
+        if queue_limit < 0:
+            raise EverestError(
+                f"queue_limit must be >= 0, got {queue_limit}")
+        self.session = session if session is not None else PipelineSession()
+        self.max_workers = max_workers
+        self.queue_limit = queue_limit
+        self._workers = threading.Semaphore(max_workers)
+        self._lock = threading.Lock()
+        self._active = 0
+        self._ewma_seconds = 0.05
+        self._started = time.time()
+        self.counters: Dict[str, int] = {
+            "requests": 0, "ok": 0, "rejected": 0, "errors": 0,
+            "compile": 0, "execute": 0, "runtime": 0,
+        }
+
+    # -- admission control -------------------------------------------------------------
+
+    def _admit(self) -> None:
+        with self._lock:
+            if self._active >= self.max_workers + self.queue_limit:
+                queued = self._active - self.max_workers
+                hint = max(1, min(30, math.ceil(
+                    self._ewma_seconds * max(1, queued)
+                    / self.max_workers)))
+                self.counters["rejected"] += 1
+                raise ServiceSaturated(
+                    f"server saturated: {self.max_workers} executing, "
+                    f"{queued} queued (queue limit {self.queue_limit}); "
+                    f"retry in {hint}s", retry_after=hint)
+            self._active += 1
+
+    def _release(self, seconds: float) -> None:
+        with self._lock:
+            self._active -= 1
+            self._ewma_seconds += 0.2 * (seconds - self._ewma_seconds)
+
+    # -- request dispatch --------------------------------------------------------------
+
+    def handle(self, endpoint: str,
+               payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one admitted request; raises :class:`EverestError` on
+        bad parameters and :class:`ServiceSaturated` over capacity."""
+        handler = {"compile": self._compile, "execute": self._execute,
+                   "runtime": self._runtime}.get(endpoint)
+        if handler is None:
+            raise EverestError(f"unknown endpoint {endpoint!r}; "
+                               "available: compile, execute, runtime")
+        if not isinstance(payload, dict):
+            raise EverestError("request body must be a JSON object")
+        with self._lock:
+            self.counters["requests"] += 1
+            self.counters[endpoint] += 1
+        self._admit()
+        start = time.perf_counter()
+        try:
+            with self._workers:  # blocking acquire == the bounded queue
+                result = handler(payload)
+            with self._lock:
+                self.counters["ok"] += 1
+            return result
+        except EverestError:
+            with self._lock:
+                self.counters["errors"] += 1
+            raise
+        finally:
+            self._release(time.perf_counter() - start)
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    @staticmethod
+    def _source_of(payload: Dict[str, Any]) -> str:
+        source = payload.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise EverestError("request needs a non-empty 'source' "
+                               "(EKL kernel text)")
+        return source
+
+    @staticmethod
+    def _opt_level(payload: Dict[str, Any]) -> int:
+        level = payload.get("opt_level", 1)
+        if level not in (0, 1, 2):
+            raise EverestError(f"opt_level must be 0, 1 or 2, got {level!r}")
+        return level
+
+    def _compile(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        result = self.session.compile(
+            self._source_of(payload),
+            number_format=payload.get("number_format"),
+            opt_level=self._opt_level(payload))
+        report = result.report
+        return {
+            "kernel": report.name,
+            "key": result.key,
+            "number_format": report.number_format,
+            "total_cycles": report.total_cycles,
+            "latency_seconds": report.latency_seconds,
+            "flops": report.flops,
+            "resources": {"lut": report.resources.lut,
+                          "ff": report.resources.ff,
+                          "dsp": report.resources.dsp,
+                          "bram": report.resources.bram},
+        }
+
+    def _execute(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        import numpy as np
+
+        from repro.basecamp.inputs import gather_inputs
+
+        source = self._source_of(payload)
+        opt_level = self._opt_level(payload)
+        backend = payload.get("backend", "compiled")
+        jobs = payload.get("jobs")
+        seed = payload.get("random_seed")
+        explicit = payload.get("inputs") or {}
+        if not isinstance(explicit, dict):
+            raise EverestError("'inputs' must map input names to arrays")
+        lowered = self.session.lower(source, opt_level=opt_level)
+        inputs = gather_inputs(
+            lowered.module, lowered.kernel.name, explicit, seed,
+            missing_hint="add it to 'inputs' or pass 'random_seed'")
+        result = self.session.execute(source, inputs, backend=backend,
+                                      opt_level=opt_level, jobs=jobs)
+        outputs: Dict[str, Any] = {}
+        for name, value in result.outputs.items():
+            value = np.asarray(value)
+            entry: Dict[str, Any] = {
+                "shape": list(value.shape),
+                "dtype": str(value.dtype),
+                "mean": float(value.mean()) if value.size else 0.0,
+            }
+            if payload.get("full_outputs"):
+                entry["values"] = value.tolist()
+            outputs[name] = entry
+        return {
+            "kernel": result.kernel.func_name,
+            "key": result.key,
+            "backend": result.kernel.backend,
+            "fallback": result.kernel.fallback or "",
+            "seconds": result.seconds,
+            "outputs": outputs,
+        }
+
+    def _runtime(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.runtime import default_cluster
+        from repro.runtime.engine import (
+            POLICIES,
+            RuntimeEngine,
+            synthetic_workflow,
+        )
+
+        policy = payload.get("policy", "heft")
+        policies = sorted(POLICIES) if policy == "all" else [policy]
+        nodes = int(payload.get("nodes", 4))
+        tasks = int(payload.get("tasks", 60))
+        seed = int(payload.get("seed", 0))
+        fpga_fraction = float(payload.get("fpga_fraction", 0.0))
+        results = []
+        for name in policies:
+            cluster = default_cluster(nodes)
+            engine = RuntimeEngine(cluster, policy=name)
+            synthetic_workflow(engine, n_tasks=tasks, seed=seed,
+                               fpga_fraction=fpga_fraction)
+            outcome = engine.run()
+            results.append({
+                "policy": name,
+                "makespan": outcome.makespan,
+                "transfers_seconds": outcome.transfers_seconds,
+                "rescheduled": outcome.rescheduled_tasks,
+            })
+        return {"nodes": nodes, "tasks": tasks, "results": results}
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        cache = self.session.cache
+        flight = self.session.singleflight
+        with self._lock:
+            counters = dict(self.counters)
+            active = self._active
+            ewma = self._ewma_seconds
+        return {
+            "server": {
+                **counters,
+                "active": active,
+                "max_workers": self.max_workers,
+                "queue_limit": self.queue_limit,
+                "ewma_request_seconds": ewma,
+                "uptime_seconds": time.time() - self._started,
+            },
+            "cache": {
+                "entries": len(cache),
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "hit_rate": cache.stats.hit_rate,
+            },
+            "singleflight": {
+                "leaders": flight.leaders,
+                "waits": flight.waits,
+            },
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP front of one :class:`BasecampService`."""
+
+    # Set by the server factory.
+    service: BasecampService
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: D102 (stdlib signature)
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, body: Dict[str, Any],
+               headers: Optional[Dict[str, str]] = None) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._reply(200, self.service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}; "
+                                       "GET /healthz, GET /stats, or POST "
+                                       "/compile, /execute, /runtime"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        endpoint = self.path.lstrip("/")
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                # Body left unread: drop the connection after replying.
+                self._reply(413, {"error": "request body too large"},
+                            headers={"Connection": "close"})
+                self.close_connection = True
+                return
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                payload = json.loads(raw.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self._reply(400, {"error": f"invalid JSON body: {error}"})
+                return
+            result = self.service.handle(endpoint, payload)
+            self._reply(200, result)
+        except ServiceSaturated as error:
+            self._reply(429, {"error": str(error),
+                              "retry_after": error.retry_after},
+                        headers={"Retry-After": str(error.retry_after)})
+        except EverestError as error:
+            self._reply(400, {"error": str(error)})
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as error:  # noqa: BLE001 — daemon must not die
+            self._reply(500, {"error": f"internal error: "
+                                       f"{type(error).__name__}: {error}"})
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for many short-lived tenant connections.
+
+    The stdlib default listen backlog of 5 overflows under a burst of
+    concurrent clients, and the kernel's SYN retransmit then shows up as
+    a spurious ~1s latency cliff; admission control (not the accept
+    queue) is the daemon's intended backpressure mechanism.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+class BasecampServer:
+    """A :class:`ThreadingHTTPServer` bound to one :class:`BasecampService`.
+
+    ``port=0`` binds an ephemeral port (see :attr:`address`).  Use
+    :meth:`start` for a background thread (tests, benchmarks) or
+    :meth:`serve_forever` to occupy the calling thread (the CLI).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 session: Optional[PipelineSession] = None,
+                 max_workers: int = DEFAULT_MAX_WORKERS,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 quiet: bool = True):
+        self.service = BasecampService(session=session,
+                                       max_workers=max_workers,
+                                       queue_limit=queue_limit)
+        handler = type("BoundHandler", (_Handler,),
+                       {"service": self.service, "quiet": quiet})
+        self._httpd = _Server((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "BasecampServer":
+        """Serve on a background thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="basecamp-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving, join the background thread, close the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()

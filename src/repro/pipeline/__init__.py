@@ -25,7 +25,12 @@ Quick use::
 
 from repro.pipeline.cache import CacheStats, StageCache, fingerprint
 from repro.pipeline.report import PipelineReport, StageTiming
-from repro.pipeline.session import PipelineSession, get_session, reset_session
+from repro.pipeline.session import (
+    PipelineSession,
+    SingleFlightStats,
+    get_session,
+    reset_session,
+)
 from repro.pipeline.stage import Stage, StageRegistry
 from repro.pipeline.stages import (
     CompileResult,
@@ -42,6 +47,7 @@ __all__ = [
     "PipelineReport",
     "StageTiming",
     "PipelineSession",
+    "SingleFlightStats",
     "get_session",
     "reset_session",
     "Stage",

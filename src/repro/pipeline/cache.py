@@ -92,6 +92,18 @@ class StageCache:
         with self._lock:
             return key in self._entries
 
+    def peek(self, key: str) -> Tuple[bool, Optional[Any]]:
+        """Like :meth:`lookup` but without touching the counters.
+
+        Used by the session's single-flight leader to re-check the cache
+        after winning the in-flight slot — that probe is an internal
+        consistency check, not a user-visible lookup.
+        """
+        with self._lock:
+            if key in self._entries:
+                return True, self._entries[key]
+            return False, None
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

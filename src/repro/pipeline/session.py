@@ -12,7 +12,9 @@ returning results bit-identical to the serial path.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import EverestError, PipelineError
@@ -26,6 +28,31 @@ from repro.pipeline.stages import (
     OlympusResult,
     builtin_stages,
 )
+
+
+@dataclass
+class SingleFlightStats:
+    """Deduplication counters for concurrent identical stage runs.
+
+    ``leaders`` counts stage executions that other callers piggybacked
+    on; ``waits`` counts the callers that blocked on a leader instead of
+    recomputing.  ``basecamp serve`` surfaces both under ``/stats``.
+    """
+
+    leaders: int = 0
+    waits: int = 0
+
+
+class _Flight:
+    """One in-flight stage execution other callers can wait on."""
+
+    __slots__ = ("done", "value", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.waiters = 0
 
 
 class PipelineSession:
@@ -48,6 +75,9 @@ class PipelineSession:
         self.cache = StageCache()
         self.report = PipelineReport()
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.singleflight = SingleFlightStats()
+        self._inflight: Dict[str, _Flight] = {}
+        self._inflight_lock = threading.Lock()
         if register_builtins:
             for name, fn, description in builtin_stages():
                 self.registry.register(Stage(name, fn, description))
@@ -79,32 +109,82 @@ class PipelineSession:
         from the fingerprint (executors, callbacks — values that do not
         change the result).
 
+        Cacheable stages are *single-flight*: when several threads request
+        the same ``stage_key`` concurrently (``basecamp serve`` tenants,
+        DSE fan-outs), exactly one executes the stage while the others
+        block on its result — identical in-flight compiles never duplicate
+        work.  A leader failure is propagated to every waiter and nothing
+        is cached, so the next caller retries cleanly.
+
         Returns ``(stage_key, result)``.
         """
         stage = self.registry.get(name)
         params = dict(params or {})
         stage_key = self.stage_key(name, params, key)
+        flight: Optional[_Flight] = None
         if stage.cacheable:
             hit, value = self.cache.lookup(stage_key)
             if hit:
                 self.report.record(name, 0.0, cached=True, parallel=parallel,
                                    detail=detail)
                 return stage_key, value
+            with self._inflight_lock:
+                leader = stage_key not in self._inflight
+                if leader:
+                    flight = self._inflight[stage_key] = _Flight()
+                else:
+                    flight = self._inflight[stage_key]
+                    flight.waiters += 1
+                    self.singleflight.waits += 1
+            if not leader:
+                flight.done.wait()
+                if flight.error is not None:
+                    raise flight.error
+                self.report.record(name, 0.0, cached=True, parallel=parallel,
+                                   detail=detail)
+                return stage_key, flight.value
+            # Leader: someone may have stored between our miss and our
+            # claim of the flight slot (a non-single-flight store path);
+            # re-check without skewing the hit/miss counters.
+            hit, value = self.cache.peek(stage_key)
+            if hit:
+                self._land(stage_key, flight, value=value)
+                self.report.record(name, 0.0, cached=True, parallel=parallel,
+                                   detail=detail)
+                return stage_key, value
         call_params = dict(params)
         call_params.update(runtime_params or {})
-        with StageClock() as clock:
-            try:
-                value = stage(payload, **call_params)
-            except EverestError:
-                raise
-            except (TypeError, ValueError, KeyError) as error:
-                raise PipelineError(
-                    f"stage {name!r} failed: {error}") from error
+        try:
+            with StageClock() as clock:
+                try:
+                    value = stage(payload, **call_params)
+                except EverestError:
+                    raise
+                except (TypeError, ValueError, KeyError) as error:
+                    raise PipelineError(
+                        f"stage {name!r} failed: {error}") from error
+        except BaseException as error:
+            if flight is not None:
+                self._land(stage_key, flight, error=error)
+            raise
         if stage.cacheable:
             self.cache.store(stage_key, value)
+        if flight is not None:
+            self._land(stage_key, flight, value=value)
         self.report.record(name, clock.seconds, cached=False,
                            parallel=parallel, detail=detail)
         return stage_key, value
+
+    def _land(self, stage_key: str, flight: _Flight, *, value: Any = None,
+              error: Optional[BaseException] = None) -> None:
+        """Publish a leader's outcome and release the in-flight slot."""
+        flight.value = value
+        flight.error = error
+        with self._inflight_lock:
+            self._inflight.pop(stage_key, None)
+            if flight.waiters:
+                self.singleflight.leaders += 1
+        flight.done.set()
 
     def stage_key(self, name: str,
                   params: Optional[Dict[str, Any]] = None,
@@ -219,6 +299,9 @@ class PipelineSession:
         key, report = self.run_stage("hls", (result.kernel, result.module),
                                      key=result.key, params=params,
                                      detail=number_format or "f64")
+        # `result` is this call's own CompileResult (lower() builds a
+        # fresh one); attaching the cached report to it never mutates a
+        # cache-shared object.
         result.report = report
         result.key = key
         return result
@@ -247,8 +330,10 @@ class PipelineSession:
             executor = runtime.get("executor")
             if executor is not None:
                 executor.shutdown()
-        result.key = key
-        return result
+        # The cached OlympusResult is shared across callers: hand each
+        # call its own shallow copy instead of mutating the cached object
+        # (concurrent tenants would see each other's writes).
+        return replace(result, key=key)
 
     def deploy(self, source: str, *, device: str = "alveo-u55c",
                nodes: int = 4, parallel: bool = False,
@@ -316,8 +401,8 @@ class PipelineSession:
             key, result = self.run_stage("olympus", compiled.report,
                                          key=compiled.key, params=params,
                                          parallel=parallel, detail=device)
-            result.key = key
-            return result
+            # Per-call copy: the cached OlympusResult must stay unmutated.
+            return replace(result, key=key)
 
         if not parallel or len(devices) <= 1:
             return {device: run_one(device) for device in devices}
@@ -335,17 +420,25 @@ class PipelineSession:
 
 
 _GLOBAL_SESSION: Optional[PipelineSession] = None
+_GLOBAL_SESSION_LOCK = threading.Lock()
 
 
 def get_session() -> PipelineSession:
-    """The process-wide default session (used by the ``basecamp`` CLI)."""
+    """The process-wide default session (used by the ``basecamp`` CLI).
+
+    Guarded by a lock: two concurrent first callers (server threads,
+    parallel test workers) must share one session — an unlocked
+    check-then-set would hand each its own session with a split cache.
+    """
     global _GLOBAL_SESSION
-    if _GLOBAL_SESSION is None:
-        _GLOBAL_SESSION = PipelineSession()
-    return _GLOBAL_SESSION
+    with _GLOBAL_SESSION_LOCK:
+        if _GLOBAL_SESSION is None:
+            _GLOBAL_SESSION = PipelineSession()
+        return _GLOBAL_SESSION
 
 
 def reset_session() -> None:
     """Drop the process-wide session (tests, long-lived services)."""
     global _GLOBAL_SESSION
-    _GLOBAL_SESSION = None
+    with _GLOBAL_SESSION_LOCK:
+        _GLOBAL_SESSION = None

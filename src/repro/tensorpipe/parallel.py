@@ -37,6 +37,32 @@ DEFAULT_TILE_THRESHOLD = 65536
 _POOL: Optional[ThreadPoolExecutor] = None
 _POOL_SIZE = 0
 _POOL_LOCK = threading.Lock()
+#: Pools replaced by a grow, kept alive until :func:`shutdown_pool`:
+#: a thread that fetched the pool before the grow may still submit to
+#: it, and ``ThreadPoolExecutor.shutdown`` (with or without ``wait``)
+#: would make that submit raise.  Growth is monotone and capped by the
+#: largest ``jobs`` ever requested, so the retired set stays small.
+_RETIRED: List[ThreadPoolExecutor] = []
+
+
+def _env_int(name: str, minimum: int) -> Optional[int]:
+    """Parse an integer environment knob, or None when unset/empty.
+
+    Both pool knobs (``REPRO_JOBS``, ``REPRO_TILE_THRESHOLD``) validate
+    through here so a typo'd value surfaces as a uniform
+    :class:`EverestError` instead of a raw ``ValueError``.
+    """
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EverestError(
+            f"{name} must be an integer, got {raw!r}") from None
+    if value < minimum:
+        raise EverestError(f"{name} must be >= {minimum}, got {value}")
+    return value
 
 
 def resolve_jobs(explicit: Optional[int] = None) -> int:
@@ -46,30 +72,31 @@ def resolve_jobs(explicit: Optional[int] = None) -> int:
         if jobs < 1:
             raise EverestError(f"jobs must be >= 1, got {jobs}")
         return jobs
-    env = os.environ.get("REPRO_JOBS")
-    if env:
-        try:
-            jobs = int(env)
-        except ValueError:
-            raise EverestError(f"REPRO_JOBS must be an integer, got {env!r}")
-        if jobs < 1:
-            raise EverestError(f"REPRO_JOBS must be >= 1, got {jobs}")
-        return jobs
+    env = _env_int("REPRO_JOBS", 1)
+    if env is not None:
+        return env
     return min(8, os.cpu_count() or 1)
 
 
 def tile_threshold() -> int:
-    env = os.environ.get("REPRO_TILE_THRESHOLD")
-    return int(env) if env else DEFAULT_TILE_THRESHOLD
+    env = _env_int("REPRO_TILE_THRESHOLD", 0)
+    return DEFAULT_TILE_THRESHOLD if env is None else env
 
 
 def _pool_for(jobs: int) -> ThreadPoolExecutor:
-    """The shared pool, grown (never shrunk) to at least ``jobs`` workers."""
+    """The shared pool, grown (never shrunk) to at least ``jobs`` workers.
+
+    Growing *retires* the smaller pool instead of shutting it down: a
+    concurrent kernel that already holds the old pool must still be able
+    to submit its tiles (``shutdown`` would fail that submit with
+    "cannot schedule new futures after shutdown").  Retired pools keep
+    their idle workers until :func:`shutdown_pool` reaps them.
+    """
     global _POOL, _POOL_SIZE
     with _POOL_LOCK:
         if _POOL is None or _POOL_SIZE < jobs:
             if _POOL is not None:
-                _POOL.shutdown(wait=True)
+                _RETIRED.append(_POOL)
             _POOL = ThreadPoolExecutor(
                 max_workers=jobs, thread_name_prefix="repro-tile")
             _POOL_SIZE = jobs
@@ -82,6 +109,9 @@ def shutdown_pool() -> None:
     with _POOL_LOCK:
         if _POOL is not None:
             _POOL.shutdown(wait=True)
+        for pool in _RETIRED:
+            pool.shutdown(wait=True)
+        _RETIRED.clear()
         _POOL = None
         _POOL_SIZE = 0
 

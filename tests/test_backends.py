@@ -37,10 +37,13 @@ from repro.tensorpipe.cbackend import (
 )
 from repro.tensorpipe.codegen import compile_affine
 from repro.tensorpipe.parallel import (
+    DEFAULT_TILE_THRESHOLD,
+    _pool_for,
     make_tile,
     resolve_jobs,
     shutdown_pool,
     split_ranges,
+    tile_threshold,
 )
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
@@ -258,6 +261,59 @@ class TestParallel:
         got = kernel.run(inputs, jobs=jobs)
         for key in expected:
             np.testing.assert_array_equal(got[key], expected[key])
+
+    def test_tile_threshold_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TILE_THRESHOLD", raising=False)
+        assert tile_threshold() == DEFAULT_TILE_THRESHOLD
+        monkeypatch.setenv("REPRO_TILE_THRESHOLD", "123")
+        assert tile_threshold() == 123
+
+    @pytest.mark.parametrize("bad", ["lots", "-1", "1.5"])
+    def test_tile_threshold_rejects_invalid_env(self, monkeypatch, bad):
+        # Regression: a typo'd REPRO_TILE_THRESHOLD used to leak a raw
+        # ValueError; it now validates like REPRO_JOBS.
+        monkeypatch.setenv("REPRO_TILE_THRESHOLD", bad)
+        with pytest.raises(EverestError, match="REPRO_TILE_THRESHOLD"):
+            tile_threshold()
+
+    def test_pool_grow_does_not_invalidate_held_pools(self):
+        # Regression: growing the shared pool used to shutdown() the old
+        # one, so a thread that fetched it before the grow crashed on
+        # submit with "cannot schedule new futures after shutdown".
+        shutdown_pool()
+        try:
+            held = _pool_for(2)
+            grown = _pool_for(4)
+            assert grown is not held
+            assert held.submit(lambda: 42).result(timeout=10) == 42
+        finally:
+            shutdown_pool()
+
+    def test_pool_grow_race_two_threads(self):
+        import threading
+
+        shutdown_pool()
+        try:
+            got_pool = threading.Event()
+            grown = threading.Event()
+            result = []
+
+            def tile_thread():
+                pool = _pool_for(2)
+                got_pool.set()
+                # The other thread grows the pool before we submit.
+                assert grown.wait(timeout=10)
+                result.append(pool.submit(lambda: "ran").result(timeout=10))
+
+            worker = threading.Thread(target=tile_thread)
+            worker.start()
+            assert got_pool.wait(timeout=10)
+            _pool_for(6)
+            grown.set()
+            worker.join(timeout=10)
+            assert result == ["ran"]
+        finally:
+            shutdown_pool()
 
     def test_shutdown_pool_allows_reuse(self):
         tile = make_tile(jobs=2, threshold=1)

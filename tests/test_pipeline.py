@@ -406,3 +406,199 @@ class TestGlobalSession:
             assert "schedule" in out
         finally:
             reset_session()
+
+
+class TestConcurrency:
+    """Regression tests for the multi-tenant (basecamp serve) fixes."""
+
+    def _session_with_gate(self):
+        """A session plus a cacheable stage that blocks until released."""
+        import threading
+
+        session = PipelineSession(register_builtins=False)
+        calls = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(payload):
+            calls.append(payload)
+            if payload == "block":
+                entered.set()
+                assert release.wait(timeout=10)
+            return ("result", payload)
+
+        session.register("gated", gated)
+        return session, calls, entered, release
+
+    def test_single_flight_executes_stage_exactly_once(self):
+        import threading
+        import time
+
+        session, calls, entered, release = self._session_with_gate()
+        results = []
+
+        def run():
+            results.append(
+                session.run_stage("gated", "block", key="k")[1])
+
+        threads = [threading.Thread(target=run) for _ in range(6)]
+        for t in threads:
+            t.start()
+        assert entered.wait(timeout=10)
+        # Every non-leader must be parked on the leader's flight before
+        # the leader is released — then dedup is deterministic.
+        deadline = time.monotonic() + 10
+        while session.singleflight.waits < 5:
+            assert time.monotonic() < deadline
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert calls == ["block"]
+        assert results == [("result", "block")] * 6
+        assert session.singleflight.waits == 5
+        assert session.singleflight.leaders == 1
+
+    def test_distinct_keys_do_not_block_each_other(self):
+        import threading
+
+        session, calls, entered, release = self._session_with_gate()
+        blocker = threading.Thread(
+            target=session.run_stage, args=("gated", "block"),
+            kwargs={"key": "kb"})
+        blocker.start()
+        assert entered.wait(timeout=10)
+        # A different kernel compiles to completion while the first is
+        # still executing.
+        key, value = session.run_stage("gated", "fast", key="kf")
+        assert value == ("result", "fast")
+        release.set()
+        blocker.join(timeout=10)
+        assert sorted(calls) == ["block", "fast"]
+
+    def test_leader_failure_propagates_and_is_not_cached(self):
+        import threading
+        import time
+
+        session = PipelineSession(register_builtins=False)
+        attempts = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def flaky(payload):
+            attempts.append(payload)
+            if len(attempts) == 1:
+                entered.set()
+                assert release.wait(timeout=10)
+                raise EverestError("first caller fails")
+            return "ok"
+
+        session.register("flaky", flaky)
+        errors = []
+
+        def waiter():
+            try:
+                session.run_stage("flaky", "p", key="k")
+            except EverestError as error:
+                errors.append(str(error))
+
+        leader = threading.Thread(target=waiter)
+        leader.start()
+        assert entered.wait(timeout=10)
+        follower = threading.Thread(target=waiter)
+        follower.start()
+        deadline = time.monotonic() + 10
+        while session.singleflight.waits < 1:
+            assert time.monotonic() < deadline
+        release.set()
+        leader.join(timeout=10)
+        follower.join(timeout=10)
+        assert errors == ["first caller fails"] * 2
+        # The failure was not cached and the flight slot was released:
+        # the next caller retries and succeeds.
+        _, value = session.run_stage("flaky", "p", key="k")
+        assert value == "ok"
+        assert len(attempts) == 2
+
+    def test_concurrent_compiles_share_one_stage_execution(self):
+        import threading
+
+        session = PipelineSession()
+        barrier = threading.Barrier(6)
+        results = []
+
+        def compile_one():
+            barrier.wait()
+            results.append(session.compile(FIG3_MAJOR_ABSORBER))
+
+        threads = [threading.Thread(target=compile_one) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(results) == 6
+        # Exactly one execution per stage (single-flight or cache hit);
+        # every caller sees the identical cached report object.
+        executed = [e.stage for e in session.report.events
+                    if not e.cached and not e.aux]
+        assert sorted(executed) == sorted(set(executed))
+        assert executed.count("hls") == 1
+        first = results[0]
+        assert all(r.report is first.report for r in results)
+        assert all(r.key == first.key for r in results)
+        # ... but each caller owns its CompileResult wrapper.
+        assert len({id(r) for r in results}) == 6
+
+    def test_get_session_concurrent_first_callers_share_one(
+            self, monkeypatch):
+        import threading
+        import time
+
+        from repro.pipeline import session as session_mod
+
+        class SlowInit(session_mod.PipelineSession):
+            def __init__(self):
+                time.sleep(0.05)  # widen the check-then-set window
+                super().__init__()
+
+        monkeypatch.setattr(session_mod, "PipelineSession", SlowInit)
+        reset_session()
+        try:
+            sessions = []
+            barrier = threading.Barrier(4)
+
+            def grab():
+                barrier.wait()
+                sessions.append(session_mod.get_session())
+
+            threads = [threading.Thread(target=grab) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert len(sessions) == 4
+            assert len({id(s) for s in sessions}) == 1
+        finally:
+            reset_session()
+
+    def test_olympus_returns_per_call_copies(self):
+        session = PipelineSession()
+        first = session.olympus(FIG3_MAJOR_ABSORBER)
+        second = session.olympus(FIG3_MAJOR_ABSORBER)  # cache hit
+        assert first is not second
+        # Mutating one caller's view must not leak into another's.
+        first.key = "mutated-by-tenant-a"
+        assert second.key != "mutated-by-tenant-a"
+        third = session.olympus(FIG3_MAJOR_ABSORBER)
+        assert third.key == second.key
+
+    def test_olympus_sweep_returns_per_call_copies(self):
+        session = PipelineSession()
+        devices = ["alveo-u55c"]
+        first = session.olympus_sweep(FIG3_MAJOR_ABSORBER, devices,
+                                      parallel=False)
+        second = session.olympus_sweep(FIG3_MAJOR_ABSORBER, devices,
+                                       parallel=False)
+        a, b = first["alveo-u55c"], second["alveo-u55c"]
+        assert a is not b
+        a.key = "mutated"
+        assert b.key != "mutated"

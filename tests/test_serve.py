@@ -1,0 +1,300 @@
+"""Tests for the ``basecamp serve`` multi-tenant daemon.
+
+Service-level tests drive :class:`BasecampService.handle` directly;
+HTTP-level tests boot a real :class:`BasecampServer` on an ephemeral
+port and exercise concurrency: single-flight deduplication of identical
+in-flight compiles, and admission-control rejection (429 + Retry-After)
+when the executor saturates.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.basecamp.serve import (
+    BasecampServer,
+    BasecampService,
+    ServiceSaturated,
+)
+from repro.errors import EverestError
+from repro.pipeline import PipelineSession
+
+ADD = """
+kernel add {
+  index i: 6
+  input a[i]: f64
+  input b[i]: f64
+  output c
+  c = a + b
+}
+"""
+
+SCALE = """
+kernel scale {
+  index i: 6
+  input a[i]: f64
+  output c
+  c = a * 3.0
+}
+"""
+
+
+def post(url, endpoint, payload, timeout=30):
+    """POST JSON; returns (status, decoded body, headers)."""
+    request = urllib.request.Request(
+        f"{url}/{endpoint}", data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), \
+                dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def get(url, path, timeout=30):
+    try:
+        with urllib.request.urlopen(f"{url}{path}",
+                                    timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture
+def server():
+    """A started ephemeral-port server, shut down after the test."""
+    instance = BasecampServer(port=0).start()
+    try:
+        yield instance
+    finally:
+        instance.shutdown()
+
+
+class TestService:
+    def test_compile_reports_kernel_and_key(self):
+        service = BasecampService()
+        result = service.handle("compile", {"source": ADD})
+        assert result["kernel"] == "add"
+        assert len(result["key"]) == 64
+        assert result["total_cycles"] > 0
+        assert result["number_format"] == "f64"
+        assert set(result["resources"]) == {"lut", "ff", "dsp", "bram"}
+
+    def test_compile_with_number_format(self):
+        service = BasecampService()
+        base = service.handle("compile", {"source": ADD})
+        fixed = service.handle(
+            "compile", {"source": ADD, "number_format": "fixed<8.8>"})
+        assert fixed["number_format"].startswith("fixed")
+        assert fixed["key"] != base["key"]
+
+    def test_execute_with_seed_and_full_outputs(self):
+        service = BasecampService()
+        result = service.handle("execute", {
+            "source": ADD, "random_seed": 0, "full_outputs": True})
+        expected = PipelineSession().execute(
+            ADD, _seeded_inputs(service, ADD, 0))
+        np.testing.assert_array_equal(
+            np.array(result["outputs"]["c"]["values"]),
+            expected.outputs["c"])
+        assert result["backend"] == "compiled"
+        assert result["outputs"]["c"]["shape"] == [6]
+
+    def test_execute_with_explicit_inputs(self):
+        service = BasecampService()
+        a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        b = [1.0] * 6
+        result = service.handle("execute", {
+            "source": ADD, "inputs": {"a": a, "b": b},
+            "full_outputs": True})
+        assert result["outputs"]["c"]["values"] == \
+            [x + 1.0 for x in a]
+
+    def test_execute_missing_input_rejected(self):
+        service = BasecampService()
+        with pytest.raises(EverestError, match="missing input"):
+            service.handle("execute", {"source": ADD})
+
+    def test_runtime_all_policies(self):
+        service = BasecampService()
+        result = service.handle(
+            "runtime", {"policy": "all", "tasks": 8, "nodes": 2})
+        names = [entry["policy"] for entry in result["results"]]
+        assert len(names) >= 3 and names == sorted(names)
+        assert all(entry["makespan"] > 0 for entry in result["results"])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(EverestError, match="unknown endpoint"):
+            BasecampService().handle("frobnicate", {})
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(EverestError, match="source"):
+            BasecampService().handle("compile", {})
+
+    def test_bad_opt_level_rejected(self):
+        with pytest.raises(EverestError, match="opt_level"):
+            BasecampService().handle(
+                "compile", {"source": ADD, "opt_level": 9})
+
+    def test_sizing_validated(self):
+        with pytest.raises(EverestError):
+            BasecampService(max_workers=0)
+        with pytest.raises(EverestError):
+            BasecampService(queue_limit=-1)
+
+    def test_stats_shape(self):
+        service = BasecampService()
+        service.handle("compile", {"source": ADD})
+        stats = service.stats()
+        assert stats["server"]["requests"] == 1
+        assert stats["server"]["ok"] == 1
+        assert stats["cache"]["entries"] > 0
+        assert {"leaders", "waits"} == set(stats["singleflight"])
+
+
+def _seeded_inputs(service, source, seed):
+    from repro.basecamp.inputs import gather_inputs
+
+    lowered = service.session.lower(source)
+    return gather_inputs(lowered.module, lowered.kernel.name, {}, seed)
+
+
+class TestHTTP:
+    def test_healthz_and_stats(self, server):
+        status, body = get(server.url, "/healthz")
+        assert (status, body) == (200, {"status": "ok"})
+        status, body = get(server.url, "/stats")
+        assert status == 200
+        assert body["server"]["requests"] == 0
+
+    def test_unknown_path_404(self, server):
+        status, body = get(server.url, "/nope")
+        assert status == 404
+        assert "unknown path" in body["error"]
+
+    def test_invalid_json_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/compile", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert "invalid JSON" in json.loads(excinfo.value.read())["error"]
+
+    def test_sdk_error_maps_to_400(self, server):
+        status, body, _ = post(server.url, "compile",
+                               {"source": "kernel broken {"})
+        assert status == 400
+        assert "error" in body
+
+    def test_cache_shared_across_requests(self, server):
+        status, first, _ = post(server.url, "compile", {"source": ADD})
+        assert status == 200
+        status, second, _ = post(server.url, "compile", {"source": ADD})
+        assert status == 200
+        assert second == first
+        _, stats = get(server.url, "/stats")
+        assert stats["cache"]["hits"] > 0
+
+    def test_single_flight_dedups_identical_inflight_compiles(self):
+        session = PipelineSession()
+        release = threading.Event()
+        hls_runs = []
+        original = session.registry.get("hls")
+
+        def gated_hls(payload, **params):
+            hls_runs.append(1)
+            assert release.wait(timeout=30)
+            return original.fn(payload, **params)
+
+        session.register("hls", gated_hls, replace=True)
+        server = BasecampServer(port=0, session=session,
+                                max_workers=8).start()
+        try:
+            clients = 6
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                futures = [
+                    pool.submit(post, server.url, "compile",
+                                {"source": SCALE})
+                    for _ in range(clients)
+                ]
+                # Wait until every client is admitted and in flight,
+                # then release the gated leader.
+                deadline = time.monotonic() + 30
+                while server.service.stats()["server"]["active"] < clients:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                release.set()
+                replies = [f.result(timeout=60) for f in futures]
+            assert all(status == 200 for status, _, _ in replies)
+            bodies = [body for _, body, _ in replies]
+            assert all(body == bodies[0] for body in bodies)
+            # The demonstrable dedup claim: six concurrent identical
+            # compiles executed the HLS stage exactly once.
+            assert len(hls_runs) == 1
+            assert session.singleflight.waits > 0
+        finally:
+            server.shutdown()
+
+    def test_saturation_rejected_with_retry_after(self):
+        session = PipelineSession()
+        entered = threading.Event()
+        release = threading.Event()
+        original = session.registry.get("hls")
+
+        def gated_hls(payload, **params):
+            entered.set()
+            assert release.wait(timeout=30)
+            return original.fn(payload, **params)
+
+        session.register("hls", gated_hls, replace=True)
+        server = BasecampServer(port=0, session=session,
+                                max_workers=1, queue_limit=1).start()
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                first = pool.submit(post, server.url, "compile",
+                                    {"source": SCALE})
+                assert entered.wait(timeout=30)
+                second = pool.submit(post, server.url, "compile",
+                                     {"source": SCALE})
+                deadline = time.monotonic() + 30
+                while server.service.stats()["server"]["active"] < 2:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                # Executor full, queue full: the third client is turned
+                # away immediately with a Retry-After hint.
+                status, body, headers = post(server.url, "compile",
+                                             {"source": SCALE})
+                assert status == 429
+                assert "saturated" in body["error"]
+                assert int(headers["Retry-After"]) >= 1
+                assert body["retry_after"] == int(headers["Retry-After"])
+                release.set()
+                assert first.result(timeout=60)[0] == 200
+                assert second.result(timeout=60)[0] == 200
+            stats = server.service.stats()["server"]
+            assert stats["rejected"] == 1
+            assert stats["ok"] == 2
+        finally:
+            server.shutdown()
+
+    def test_clean_shutdown_idempotent_socket(self):
+        server = BasecampServer(port=0).start()
+        url = server.url
+        assert get(url, "/healthz")[0] == 200
+        server.shutdown()
+        with pytest.raises((urllib.error.URLError, ConnectionError,
+                            OSError)):
+            urllib.request.urlopen(f"{url}/healthz", timeout=2)
+
+    def test_saturated_error_type(self):
+        error = ServiceSaturated("full", retry_after=7)
+        assert isinstance(error, EverestError)
+        assert error.retry_after == 7
