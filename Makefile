@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-runtime bench-ir bench-exec bench-serve \
-	serve-smoke fuzz-smoke fuzz-exec-smoke fuzz-runtime-smoke \
-	fuzz-runtime coverage docs-check examples lint all
+	serve-smoke fuzz-smoke fuzz-exec-smoke fuzz-analyze-smoke \
+	fuzz-runtime-smoke fuzz-runtime coverage docs-check examples lint all
 
 all: test docs-check
 
@@ -11,6 +11,7 @@ test: lint
 	$(PYTHON) -m pytest -x -q tests
 	$(MAKE) fuzz-smoke
 	$(MAKE) fuzz-exec-smoke
+	$(MAKE) fuzz-analyze-smoke
 	$(MAKE) fuzz-runtime-smoke
 	$(MAKE) bench-ir
 	$(MAKE) bench-exec
@@ -82,6 +83,15 @@ fuzz-exec-smoke:
 	REPRO_TILE_THRESHOLD=1 REPRO_JOBS=3 $(PYTHON) tools/irfuzz.py \
 		--mode exec --count 10 --backend compiled-parallel
 	$(PYTHON) tools/irfuzz.py --mode exec --count 15 --backend cbackend
+	$(PYTHON) tools/irfuzz.py --mode exec --count 15 \
+		--backend compiled-arena
+
+# The abstract-interpretation cross-checker: typed verification of every
+# lowering stage plus inferred-vs-executed shape/dtype agreement (the
+# 200-seed tier runs inside `pytest tests`; `python tools/irfuzz.py
+# --mode analyze --count N` goes deeper).
+fuzz-analyze-smoke:
+	$(PYTHON) tools/irfuzz.py --mode analyze --count 20
 
 # Runtime-engine workload fuzzing: random DAGs + streamed arrivals +
 # failure injection through every policy, checked against the scheduler
@@ -103,12 +113,21 @@ coverage:
 		echo "coverage: pytest-cov unavailable (pip install pytest-cov)"; \
 	fi
 
-# Non-blocking: warnings are reported but never fail the build, and a
-# missing ruff is tolerated (the container may not ship it).
+# Ruff is non-blocking: warnings are reported but never fail the build,
+# and a missing ruff is tolerated (the container may not ship it).  The
+# mypy gate on the analysis + arena planner modules IS blocking when
+# mypy is available: those two files stay fully annotated and clean.
 lint:
 	-@$(PYTHON) -m ruff check src tests benchmarks tools examples \
 		2>/dev/null || echo "lint: ruff unavailable or reported" \
 		"warnings (non-blocking)"
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --follow-imports=silent \
+			--ignore-missing-imports --strict-equality \
+			src/repro/ir/analysis.py src/repro/tensorpipe/arena.py; \
+	else \
+		echo "lint: mypy unavailable (gate skipped)"; \
+	fi
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -15,7 +15,11 @@ claim on the CPU across the whole backend registry:
   with >= 2 workers vs. serial ``compiled`` on a large kernel: tiling
   must win (cache-resident chunks + GIL-released numpy overlap);
 * ``cbackend`` — the generated-C backend: native speedup when a C
-  compiler exists, otherwise the recorded fallback reason.
+  compiler exists, otherwise the recorded fallback reason;
+* ``arena`` — the statically planned ``compiled-arena`` backend: all
+  intermediates live in one liveness-planned arena
+  (:mod:`repro.tensorpipe.arena`), bitwise-identical to ``compiled``
+  with the planned footprint and sharing ratio recorded.
 
 Every backend must agree with the interpreter bit-for-bit on float64.
 Results land in ``BENCH_affine_exec.json`` (run via ``make bench-exec``)
@@ -36,6 +40,7 @@ from repro.frontends.ekl import parse_kernel
 from repro.frontends.ekl.lower import lower_ekl_to_esn, lower_kernel_to_ekl
 from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
 from repro.tensorpipe.affine_interp import AffineInterpreter
+from repro.tensorpipe.arena import plan_arena
 from repro.tensorpipe.codegen import compile_affine
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent \
@@ -259,6 +264,39 @@ def test_cbackend_runs_or_records_fallback(chain_case):
     })
     print(f"\n  cbackend: numpy {serial_seconds * 1e3:.2f}ms, C "
           f"{native_seconds * 1e3:.2f}ms ({speedup:.2f}x)")
+
+
+def test_arena_backend_is_bitwise_with_planned_footprint(chain_case):
+    name, _, fused_module, _, inputs = chain_case
+    serial = compile_affine(fused_module, name)
+    arena = compile_affine(fused_module, name, backend="compiled-arena")
+    assert arena.backend == "compiled-arena"
+    assert arena.arena_slots > 0
+
+    expected = serial.run(inputs)
+    got = arena.run(inputs)
+    np.testing.assert_array_equal(got["out"], expected["out"])
+
+    plan = plan_arena(fused_module.lookup(name))
+    assert plan.total_bytes == arena.arena_bytes
+
+    serial_seconds = _best_of(lambda: serial.run(inputs), 5)
+    arena_seconds = _best_of(lambda: arena.run(inputs), 5)
+    _record("arena", {
+        "kernel": name,
+        "arena_bytes": arena.arena_bytes,
+        "arena_slots": arena.arena_slots,
+        "unshared_bytes": plan.unshared_bytes,
+        "sharing_saving": round(plan.saving, 3),
+        "compiled_seconds": round(serial_seconds, 6),
+        "arena_seconds": round(arena_seconds, 6),
+        "relative": round(serial_seconds / arena_seconds, 2),
+        "bitwise_identical": True,
+    })
+    print(f"\n  arena: {arena.arena_bytes} bytes in {arena.arena_slots} "
+          f"slots ({plan.saving * 100:.0f}% shared vs per-buffer), "
+          f"compiled {serial_seconds * 1e3:.2f}ms vs arena "
+          f"{arena_seconds * 1e3:.2f}ms")
 
 
 def test_wall_clock_budget():

@@ -143,10 +143,12 @@ def cmd_run(args) -> int:
                              jobs=getattr(args, "jobs", None))
     kernel = result.kernel
     note = f" [fell back: {kernel.fallback}]" if kernel.fallback else ""
+    arena = f", arena={kernel.arena_bytes}B/{kernel.arena_slots} slots" \
+        if kernel.arena_bytes else ""
     print(f"kernel {kernel.func_name}: backend={kernel.backend} "
           f"({kernel.vectorized_nests} vectorized / "
-          f"{kernel.scalar_nests} scalar nest(s), {kernel.flops} flops)"
-          f"{note}")
+          f"{kernel.scalar_nests} scalar nest(s), {kernel.flops} flops"
+          f"{arena}){note}")
     for name, value in result.outputs.items():
         value = np.asarray(value)
         flat = np.array2string(value.ravel()[:6], precision=6,
@@ -357,8 +359,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="compiled",
                    help="executor backend name (resolved through the "
                         "registry: interpreter, compiled, "
-                        "compiled-parallel, cbackend, ...); an unknown "
-                        "name lists the registered ones")
+                        "compiled-parallel, compiled-arena, cbackend, "
+                        "...); an unknown name lists the registered ones")
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker-pool size for the compiled-parallel "
                         "backend (default: REPRO_JOBS or the CPU count, "

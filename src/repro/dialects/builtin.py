@@ -14,6 +14,17 @@ import math
 import numpy as np
 
 from repro.errors import IRError
+from repro.ir.analysis import (
+    MEMREF_ALLOC_ZERO_INIT,
+    AbstractValue,
+    AnalysisError,
+    cast,
+    common_dtype,
+    comparison,
+    elementwise,
+    from_type,
+    merge_shapes,
+)
 from repro.ir.canonicalize import constant_value
 from repro.ir.core import Operation
 from repro.ir.dialect import VARIADIC, register_dialect
@@ -242,6 +253,79 @@ _MATH_FOLDS = {
 }
 
 
+# -- transfer functions (abstract interpretation) --------------------------------
+#
+# Registered alongside the OpDefs below; see repro.ir.analysis.  These are
+# the "green"-dialect rules: scalar arithmetic keeps shapes aligned, memref
+# access respects rank and element dtype, and memref.alloc carries the
+# zero-init contract (const=0 at definition) the executors guarantee.
+
+
+def _transfer_constant(op, operands, analysis):
+    declared = from_type(op.results[0].type)
+    value = op.attr("value")
+    const = value if isinstance(value, (bool, int, float)) else None
+    return [AbstractValue(declared.shape, declared.dtype, const)]
+
+
+def _transfer_select(op, operands, analysis):
+    cond, a, b = operands
+    if cond.dtype is not None and cond.dtype != "i1":
+        raise AnalysisError(f"select condition has dtype {cond.dtype}, not i1")
+    shape = merge_shapes([a.shape, b.shape], "select arms")
+    return [AbstractValue(shape, common_dtype([a, b]))]
+
+
+def _transfer_alloc(op, operands, analysis):
+    declared = from_type(op.results[0].type)
+    # Fresh buffers are zero-initialized by every executor (interpreter,
+    # codegen, cbackend, arena); record the contract at the definition.
+    return [AbstractValue(declared.shape, declared.dtype,
+                          MEMREF_ALLOC_ZERO_INIT)]
+
+
+def _transfer_load(op, operands, analysis):
+    ref = operands[0]
+    indices = operands[1:]
+    if ref.shape is not None and len(indices) != len(ref.shape):
+        raise AnalysisError(
+            f"{len(indices)} indices for rank-{len(ref.shape)} memref"
+        )
+    return [AbstractValue((), ref.dtype)]
+
+
+def _transfer_store(op, operands, analysis):
+    value, ref = operands[0], operands[1]
+    indices = operands[2:]
+    if ref.shape is not None and len(indices) != len(ref.shape):
+        raise AnalysisError(
+            f"{len(indices)} indices for rank-{len(ref.shape)} memref"
+        )
+    if value.shape is not None and value.shape != ():
+        raise AnalysisError("stored value is not a scalar")
+    if (value.dtype is not None and ref.dtype is not None
+            and value.dtype != ref.dtype):
+        raise AnalysisError(
+            f"stored {value.dtype} into memref of {ref.dtype}"
+        )
+    return []
+
+
+def _transfer_memref_copy(op, operands, analysis):
+    src, dst = operands
+    merge_shapes([src.shape, dst.shape], "memref.copy source/destination")
+    if (src.dtype is not None and dst.dtype is not None
+            and src.dtype != dst.dtype):
+        raise AnalysisError(
+            f"copy between element dtypes {src.dtype} and {dst.dtype}"
+        )
+    return []
+
+
+def _transfer_affine_apply(op, operands, analysis):
+    return [AbstractValue((), "index")]
+
+
 def _fold_stage(op: Operation):
     """``buffer.stage`` into the space the value was already staged to."""
     source = op.operands[0]
@@ -283,40 +367,42 @@ def register() -> None:
     arith = register_dialect("arith", "scalar arithmetic")
     if "constant" not in arith:
         arith.op("constant", "literal constant", num_operands=0, num_results=1,
-                 required_attrs={"value": "the constant"}, traits=("pure",))
+                 required_attrs={"value": "the constant"}, traits=("pure",),
+                 transfer=_transfer_constant)
         for name in ("addf", "subf", "mulf", "divf", "maximumf", "minimumf",
                      "remf", "powf"):
             arith.op(name, f"float {name}", num_operands=2, num_results=1,
                      traits=("pure",), verify=_verify_binary_same_type,
-                     fold=_FLOAT_FOLDS[name])
+                     fold=_FLOAT_FOLDS[name], transfer=elementwise())
         for name in ("addi", "subi", "muli", "divsi", "remsi", "andi", "ori",
                      "xori", "shli", "shrsi", "maxsi", "minsi"):
             arith.op(name, f"integer {name}", num_operands=2, num_results=1,
                      traits=("pure",), verify=_verify_binary_same_type,
-                     fold=_INT_FOLDS[name])
+                     fold=_INT_FOLDS[name], transfer=elementwise())
         arith.op("negf", "float negation", num_operands=1, num_results=1,
-                 traits=("pure",), fold=_fold_negf)
+                 traits=("pure",), fold=_fold_negf, transfer=elementwise())
         arith.op("cmpf", "float comparison", num_operands=2, num_results=1,
                  required_attrs={"predicate": "lt/le/gt/ge/eq/ne"},
-                 traits=("pure",), fold=_fold_cmp)
+                 traits=("pure",), fold=_fold_cmp, transfer=comparison())
         arith.op("cmpi", "integer comparison", num_operands=2, num_results=1,
                  required_attrs={"predicate": "lt/le/gt/ge/eq/ne"},
-                 traits=("pure",), fold=_fold_cmp)
+                 traits=("pure",), fold=_fold_cmp, transfer=comparison())
         arith.op("select", "ternary select", num_operands=3, num_results=1,
-                 traits=("pure",), fold=_fold_select)
+                 traits=("pure",), fold=_fold_select,
+                 transfer=_transfer_select)
         arith.op("index_cast", "index <-> integer cast", num_operands=1,
                  num_results=1, traits=("pure",),
-                 fold=_make_cast_fold(lambda value: value))
+                 fold=_make_cast_fold(lambda value: value), transfer=cast())
         arith.op("sitofp", "signed int to float", num_operands=1,
                  num_results=1, traits=("pure",),
-                 fold=_make_cast_fold(float))
+                 fold=_make_cast_fold(float), transfer=cast())
         arith.op("fptosi", "float to signed int", num_operands=1,
                  num_results=1, traits=("pure",),
-                 fold=_make_cast_fold(int))
+                 fold=_make_cast_fold(int), transfer=cast())
         arith.op("truncf", "float precision truncation", num_operands=1,
-                 num_results=1, traits=("pure",))
+                 num_results=1, traits=("pure",), transfer=cast())
         arith.op("extf", "float precision extension", num_operands=1,
-                 num_results=1, traits=("pure",))
+                 num_results=1, traits=("pure",), transfer=cast())
 
     math_dialect = register_dialect("math", "transcendental functions")
     if "exp" not in math_dialect:
@@ -325,7 +411,7 @@ def register() -> None:
             arity = 2 if name == "atan2" else 1
             math_dialect.op(name, f"math.{name}", num_operands=arity,
                             num_results=1, traits=("pure",),
-                            fold=_MATH_FOLDS[name])
+                            fold=_MATH_FOLDS[name], transfer=elementwise())
 
     tensor = register_dialect("tensor", "immutable tensor values")
     if "empty" not in tensor:
@@ -343,13 +429,15 @@ def register() -> None:
 
     memref = register_dialect("memref", "mutable buffers")
     if "alloc" not in memref:
-        memref.op("alloc", "allocate a buffer", num_operands=0, num_results=1)
+        memref.op("alloc", "allocate a buffer (zero-initialized)",
+                  num_operands=0, num_results=1, transfer=_transfer_alloc)
         memref.op("dealloc", "free a buffer", num_operands=1, num_results=0)
         memref.op("load", "read an element", num_results=1,
-                  verify=_verify_load)
+                  verify=_verify_load, transfer=_transfer_load)
         memref.op("store", "write an element", num_results=0,
-                  verify=_verify_store)
-        memref.op("copy", "bulk copy", num_operands=2, num_results=0)
+                  verify=_verify_store, transfer=_transfer_store)
+        memref.op("copy", "bulk copy", num_operands=2, num_results=0,
+                  transfer=_transfer_memref_copy)
 
     # The paper's Fig. 5 names this dialect "buffer"; it models staged
     # transfers between host, device global memory and on-chip PLM.
@@ -378,7 +466,7 @@ def register() -> None:
                   num_results=0, traits=("terminator",))
         affine.op("apply", "affine index expression", num_results=1,
                   required_attrs={"expr": "textual affine expression"},
-                  traits=("pure",))
+                  traits=("pure",), transfer=_transfer_affine_apply)
 
     scf = register_dialect("scf", "structured control flow")
     if "if" not in scf:

@@ -31,6 +31,7 @@ from repro.numerics import NumberFormat, format_bits
 from repro.numerics.fixed_point import FixedPointFormat
 from repro.numerics.float_formats import FloatFormat
 from repro.numerics.posit import PositFormat
+from repro.tensorpipe.arena import default_element_bytes, plan_arena
 
 _LOOP_OVERHEAD = 2  # cycles to enter/flush one pipelined nest
 
@@ -79,6 +80,14 @@ class KernelReport:
     port_width_bits: int = 64
     clock_mhz: float = 300.0
     number_format: str = "f64"
+    #: Peak on-chip scratch footprint of the kernel's local buffers under
+    #: the static arena plan (:func:`repro.tensorpipe.arena.plan_arena`):
+    #: lifetime-disjoint ``memref.alloc`` buffers share bytes.  With the
+    #: default f64 format this equals the compiled ``compiled-arena``
+    #: executor's ``arena_bytes`` exactly; custom number formats rescale
+    #: it by their element widths.
+    planned_arena_bytes: int = 0
+    planned_arena_slots: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -106,7 +115,9 @@ class KernelReport:
             f"format {self.number_format})",
             f"  resources: LUT={self.resources.lut} FF={self.resources.ff} "
             f"DSP={self.resources.dsp} BRAM={self.resources.bram}",
-            f"  data: in={self.bytes_in}B out={self.bytes_out}B",
+            f"  data: in={self.bytes_in}B out={self.bytes_out}B "
+            f"scratch-arena={self.planned_arena_bytes}B "
+            f"({self.planned_arena_slots} buffers)",
         ]
         for i, nest in enumerate(self.nests):
             lines.append(
@@ -187,6 +198,9 @@ class HLSEngine:
             for a in args if isinstance(a.type, T.MemRefType)
         ]
         report.port_width_bits = max(widths, default=64)
+        plan = plan_arena(func, element_bytes=self._arena_element_bytes)
+        report.planned_arena_bytes = plan.total_bytes
+        report.planned_arena_slots = len(plan.slots)
         return report
 
     def synthesize_all(self, module: Module) -> Dict[str, KernelReport]:
@@ -204,6 +218,22 @@ class HLSEngine:
         if self._format_type is not None and isinstance(element, T.FloatType):
             return self._format_type
         return element
+
+    def _arena_element_bytes(self, element: T.Type) -> int:
+        """Element width for the arena plan.
+
+        The default format plans exactly what the numpy executors
+        allocate (so ``planned_arena_bytes`` equals the
+        ``compiled-arena`` backend's footprint); a custom number format
+        substitutes its own storage widths.
+        """
+        if self._format_type is None:
+            return default_element_bytes(element)
+        try:
+            bits = T.bitwidth(self._cost_element(element))
+        except Exception:
+            bits = 64
+        return (bits + 7) // 8
 
     def _buffer_bytes(self, ref: T.MemRefType) -> int:
         element = self._cost_element(ref.element)

@@ -17,6 +17,15 @@ Quick tour::
 """
 
 from repro.ir import types
+from repro.ir.analysis import (
+    TOP,
+    AbstractValue,
+    AnalysisError,
+    ModuleAnalysis,
+    analyze_module,
+    from_type,
+    op_path,
+)
 from repro.ir.attributes import (
     ArrayAttr,
     Attribute,
@@ -66,10 +75,17 @@ from repro.ir.passes import (
 from repro.ir.printer import print_module, print_op
 from repro.ir.rewrite import WorklistRewriter, apply_patterns_worklist, is_attached
 from repro.ir.symbols import InlinePass, SymbolTable
-from repro.ir.verifier import verify
+from repro.ir.verifier import verify, verify_typed
 
 __all__ = [
     "types",
+    "AbstractValue",
+    "AnalysisError",
+    "ModuleAnalysis",
+    "TOP",
+    "analyze_module",
+    "from_type",
+    "op_path",
     "Attribute",
     "IntAttr",
     "FloatAttr",
@@ -102,6 +118,7 @@ __all__ = [
     "print_module",
     "print_op",
     "verify",
+    "verify_typed",
     "Pass",
     "LambdaPass",
     "PassManager",

@@ -37,6 +37,14 @@ class OpDef:
     :class:`~repro.ir.attributes.Attribute` or a plain int/float/bool) that
     the driver materializes as an ``arith.constant``.  Fold hooks must not
     create or mutate operations — value-returning simplifications only.
+
+    ``transfer`` is the abstract-interpretation hook used by
+    :mod:`repro.ir.analysis`: ``transfer(op, operands, ctx)`` receives the
+    abstract values of the op's operands and returns one abstract value per
+    result (or ``None`` to fall back to the declared result types).  It
+    raises :class:`~repro.ir.analysis.AnalysisError` when the operand
+    abstracts are inconsistent with the op's semantics — this is what makes
+    the typed verifier reject miscompiles the structural checks accept.
     """
 
     name: str
@@ -48,6 +56,7 @@ class OpDef:
     traits: Tuple[str, ...] = ()
     verify: Optional[Callable[[Operation], None]] = None
     fold: Optional[Callable[[Operation], object]] = None
+    transfer: Optional[Callable] = None
 
     def check(self, op: Operation) -> None:
         """Structural check of ``op`` against this definition."""
@@ -98,6 +107,7 @@ class Dialect:
         traits: Iterable[str] = (),
         verify: Optional[Callable[[Operation], None]] = None,
         fold: Optional[Callable[[Operation], object]] = None,
+        transfer: Optional[Callable] = None,
     ) -> OpDef:
         """Define and register an operation in this dialect."""
         full = f"{self.name}.{opname}"
@@ -113,6 +123,7 @@ class Dialect:
             traits=tuple(traits),
             verify=verify,
             fold=fold,
+            transfer=transfer,
         )
         self.ops[opname] = opdef
         return opdef

@@ -1,6 +1,6 @@
 """IR verification: structural well-formedness plus registered op checks.
 
-Checks performed:
+Checks performed by :func:`verify`:
 
 * every operand is *visible* at its use (defined earlier in the same block,
   a block argument, or defined in an enclosing region — the scoping rule
@@ -10,6 +10,15 @@ Checks performed:
   :data:`repro.ir.dialect.REGISTRY` satisfy their :class:`OpDef`
   (arity, region count, required attributes, custom verifier);
 * ops carrying the ``terminator`` trait appear only at the end of a block.
+
+Every error message carries the offending op's breadcrumb path
+(:func:`repro.ir.analysis.op_path`) so failures in deeply nested modules can
+be triaged without re-printing the whole module.
+
+:func:`verify_typed` layers the abstract interpreter on top: after the
+structural pass it runs :func:`repro.ir.analysis.analyze_module` with
+checking enabled, statically rejecting shape/dtype-inconsistent modules
+(e.g. lowering miscompiles) that are structurally well-formed.
 """
 
 from __future__ import annotations
@@ -17,6 +26,12 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from repro.errors import IRError
+from repro.ir.analysis import (
+    AnalysisError,
+    ModuleAnalysis,
+    analyze_module,
+    op_path,
+)
 from repro.ir.core import Module, Operation, Region, Value
 from repro.ir.dialect import REGISTRY, DialectRegistry
 
@@ -27,21 +42,48 @@ def verify(module: Module, registry: Optional[DialectRegistry] = None) -> None:
     _verify_op(module.op, set(), registry)
 
 
+def verify_typed(
+    module: Module, registry: Optional[DialectRegistry] = None
+) -> ModuleAnalysis:
+    """Structural verification plus abstract-interpretation type checking.
+
+    Returns the :class:`~repro.ir.analysis.ModuleAnalysis` so callers can
+    reuse the inferred abstracts (e.g. for memory planning).  Raises
+    :class:`IRError` on structural violations and
+    :class:`~repro.ir.analysis.AnalysisError` (a subclass) on shape/dtype
+    inconsistencies the structural pass cannot see.
+    """
+    verify(module, registry)
+    return analyze_module(module, registry, check=True)
+
+
 def _verify_op(op: Operation, visible: Set[Value], registry: DialectRegistry) -> None:
     for idx, operand in enumerate(op.operands):
         if operand not in visible:
             raise IRError(
                 f"{op.name}: operand #{idx} is not visible at its use "
-                "(use before def or value from a sibling region)"
+                "(use before def or value from a sibling region) "
+                f"at {op_path(op)}"
             )
         if (op, idx) not in operand.uses:
-            raise IRError(f"{op.name}: def-use bookkeeping broken at operand #{idx}")
+            raise IRError(
+                f"{op.name}: def-use bookkeeping broken at operand #{idx} "
+                f"at {op_path(op)}"
+            )
     opdef = registry.opdef_for(op)
     if opdef is not None:
-        opdef.check(op)
+        try:
+            opdef.check(op)
+        except AnalysisError:
+            raise
+        except IRError as err:
+            raise IRError(f"{err} at {op_path(op)}") from None
         if "terminator" in opdef.traits and op.parent is not None:
             if op.parent.operations[-1] is not op:
-                raise IRError(f"{op.name}: terminator is not last in its block")
+                raise IRError(
+                    f"{op.name}: terminator is not last in its block "
+                    f"at {op_path(op)}"
+                )
     for region in op.regions:
         _verify_region(region, visible, registry)
 

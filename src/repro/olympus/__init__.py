@@ -27,6 +27,7 @@ from repro.olympus.plm_sharing import (
     BufferRequest,
     PLMAllocation,
     peak_live_bytes,
+    requests_from_arena,
     share_plm,
 )
 
@@ -48,5 +49,6 @@ __all__ = [
     "BufferRequest",
     "PLMAllocation",
     "peak_live_bytes",
+    "requests_from_arena",
     "share_plm",
 ]

@@ -161,6 +161,12 @@ class OlympusGenerator:
                       banks=config.plm_banks,
                       double_buffered=config.double_buffered),
         ]
+        if report.planned_arena_bytes > 0:
+            # Kernel-local scratch sized by the compiler's static arena
+            # plan (lifetime-disjoint buffers already share bytes there);
+            # never double-buffered — it holds no stream tiles.
+            plms.append(PLMConfig("scratch", report.planned_arena_bytes,
+                                  banks=1, double_buffered=False))
         instance = KernelInstance(report, config, plms, lanes,
                                   payload / spec.bus_width_bits)
         return breakdown, instance

@@ -75,6 +75,21 @@ def share_plm(requests: List[BufferRequest]) -> PLMAllocation:
     return PLMAllocation(offsets, total, unshared)
 
 
+def requests_from_arena(plan) -> List[BufferRequest]:
+    """Lift a compiler arena plan into PLM buffer requests.
+
+    ``plan`` is duck-typed over :class:`repro.tensorpipe.arena.ArenaPlan`
+    (anything with ``slots`` carrying ``name``/``size``/``start``/``end``
+    works), so Olympus needs no import of the tensorpipe layer: the
+    kernel compiler's liveness analysis feeds the PLM-sharing solver
+    directly.  Zero-sized buffers cannot occupy PLM and are dropped.
+    """
+    return [
+        BufferRequest(slot.name, slot.size, slot.start, slot.end)
+        for slot in plan.slots if slot.size > 0
+    ]
+
+
 def peak_live_bytes(requests: List[BufferRequest]) -> int:
     """Lower bound on shared PLM size: the max over stages of live bytes."""
     if not requests:

@@ -103,13 +103,18 @@ def stage_dialect_lowering(kernel: Any, *, canonicalize: bool = True) -> Any:
     session's ``canonicalize`` stage performs — and times — the
     affine-level optimization itself.  ``canonicalize=False`` is the
     fully raw chain (``--opt-level 0``).
+
+    The stage boundary runs the *typed* verifier
+    (:func:`repro.ir.verifier.verify_typed`): beyond structural checks,
+    the abstract interpreter re-derives every result's shape/dtype, so a
+    lowering miscompile is rejected here without executing anything.
     """
     import repro.dialects  # noqa: F401 (registration side effect)
     from repro.frontends.ekl.lower import (
         lower_ekl_to_esn,
         lower_kernel_to_ekl,
     )
-    from repro.ir import verify
+    from repro.ir import verify_typed
     from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
 
     module = lower_teil_to_affine(
@@ -120,7 +125,7 @@ def stage_dialect_lowering(kernel: Any, *, canonicalize: bool = True) -> Any:
         ),
         canonicalize=False,
     )
-    verify(module)
+    verify_typed(module)
     return module
 
 
@@ -136,7 +141,7 @@ def stage_canonicalize(module: Any, *, opt_level: int = 1,
     can show where optimization time went.
     """
     import repro.dialects  # noqa: F401 (registration side effect)
-    from repro.ir import CanonicalizePass, FusionPass, InlinePass, verify
+    from repro.ir import CanonicalizePass, FusionPass, InlinePass, verify_typed
     from repro.pipeline.report import StageClock
 
     if opt_level <= 0:
@@ -161,7 +166,7 @@ def stage_canonicalize(module: Any, *, opt_level: int = 1,
     if report is not None:
         report.record("canonicalize/fuse", clock.seconds, cached=False,
                       detail=f"{fusion.fused} buffer(s)", aux=True)
-    verify(optimized)
+    verify_typed(optimized)
     return optimized
 
 

@@ -18,6 +18,10 @@ Stock backends:
 ``compiled-parallel``  the tiled variant: large nests shard their outer
                     parallel axis across a worker pool
                     (:mod:`repro.tensorpipe.parallel`)
+``compiled-arena``  the statically planned variant: local buffers are
+                    views into one preallocated per-run arena
+                    (:mod:`repro.tensorpipe.arena`), sized by liveness
+                    over the entry block's ``memref.alloc`` ops
 ``cbackend``        generated C compiled via ``cc`` + ``ctypes`` at
                     cache-fill time; falls back cleanly to ``compiled``
                     when no C compiler exists or an op's libm result is
@@ -38,17 +42,20 @@ from repro.tensorpipe.codegen import CompiledKernel, compile_numpy
 
 
 class NumpyBackend:
-    """``interpreter`` / ``compiled`` / ``compiled-parallel``: thin
-    registry wrappers over :func:`~repro.tensorpipe.codegen.compile_numpy`."""
+    """``interpreter`` / ``compiled`` / ``compiled-parallel`` /
+    ``compiled-arena``: thin registry wrappers over
+    :func:`~repro.tensorpipe.codegen.compile_numpy`."""
 
-    def __init__(self, name: str, *, tiled: bool = False):
+    def __init__(self, name: str, *, tiled: bool = False,
+                 arena: bool = False):
         self.name = name
         self.tiled = tiled
+        self.arena = arena
 
     def compile(self, module: Module, func_name: str, *,
                 cache: bool = True) -> CompiledKernel:
         return compile_numpy(module, func_name, backend=self.name,
-                             tiled=self.tiled, cache=cache)
+                             tiled=self.tiled, arena=self.arena, cache=cache)
 
     def __repr__(self) -> str:
         return f"<backend {self.name}>"
@@ -98,6 +105,7 @@ def registered_backends() -> Dict[str, object]:
 register_backend(NumpyBackend("interpreter"))
 register_backend(NumpyBackend("compiled"))
 register_backend(NumpyBackend("compiled-parallel", tiled=True))
+register_backend(NumpyBackend("compiled-arena", arena=True))
 
 from repro.tensorpipe.cbackend import CBackend  # noqa: E402 (needs BACKENDS)
 

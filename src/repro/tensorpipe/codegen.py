@@ -38,6 +38,7 @@ from repro.tensorpipe.affine_interp import (
     _dtype_for,
     bind_buffers,
 )
+from repro.tensorpipe.arena import ArenaPlan, plan_arena
 
 
 class UnsupportedAffineOp(EverestError):
@@ -157,6 +158,8 @@ class CompiledKernel:
     vectorized_nests: int = 0
     scalar_nests: int = 0
     tileable_nests: int = 0
+    arena_bytes: int = 0
+    arena_slots: int = 0
     fallback: str = ""
     _func: Optional[Operation] = field(default=None, repr=False)
     _fn: Optional[object] = field(default=None, repr=False)
@@ -202,13 +205,14 @@ class AffineCompiler:
     """
 
     def __init__(self, module: Module, func_name: str, *,
-                 tiled: bool = False):
+                 tiled: bool = False, arena: Optional[ArenaPlan] = None):
         self.module = module
         self.func = module.lookup(func_name)
         if self.func.attr("kernel_lang") != "affine":
             raise EverestError(f"{func_name} is not an affine-level function")
         self.func_name = func_name
         self.tiled = tiled
+        self.arena = arena
         self.lines: List[str] = []
         self.indent = 1
         # Scalar-context expression for each Value (vars, literals, ivs).
@@ -237,6 +241,11 @@ class AffineCompiler:
             name = f"a{i}"
             self.expr[arg] = name
             self._emit(f"{name} = args[{i}]")
+        if self.arena is not None and self.arena.total_bytes:
+            # Per-run arena: concurrent runs of one cached kernel (the
+            # serve daemon) must not share scratch memory.
+            self._emit(f"__arena = np.empty({self.arena.total_bytes}, "
+                       f"dtype=np.uint8)")
         self._emit_block_scalar(entry)
         self._emit("return None")
         return "\n".join(self.lines) + "\n"
@@ -261,8 +270,18 @@ class AffineCompiler:
         if name == "memref.alloc":
             ref = op.results[0].type
             var = self._fresh()
-            self._emit(f"{var} = np.zeros({tuple(ref.shape)!r}, "
-                       f"{_DTYPE_SRC.get(str(ref.element), 'np.float64')})")
+            slot = self.arena.op_slots.get(id(op)) if self.arena else None
+            if slot is not None:
+                dtype = _DTYPE_SRC.get(str(ref.element), "np.float64")
+                self._emit(f"{var} = __arena[{slot.offset}:"
+                           f"{slot.offset + slot.size}].view({dtype})"
+                           f".reshape({tuple(ref.shape)!r})")
+                # memref.alloc zero-init contract: slots are reused, so
+                # the fill is what keeps arena runs bitwise-identical.
+                self._emit(f"{var}.fill(0)")
+            else:
+                self._emit(f"{var} = np.zeros({tuple(ref.shape)!r}, "
+                           f"{_DTYPE_SRC.get(str(ref.element), 'np.float64')})")
             self.expr[op.results[0]] = var
             return
         if name == "memref.copy":
@@ -725,9 +744,11 @@ def _static_flops(func: Operation) -> int:
 
 def compile_numpy(module: Module, func_name: str, *,
                   backend: str = "compiled", tiled: bool = False,
+                  arena: bool = False,
                   cache: bool = True) -> CompiledKernel:
     """The numpy compilation core behind the ``interpreter``,
-    ``compiled`` and ``compiled-parallel`` registry backends.
+    ``compiled``, ``compiled-parallel`` and ``compiled-arena`` registry
+    backends.
 
     Results are cached by content hash of the printed module plus the
     function name and backend, so repeated compiles of an identical
@@ -735,7 +756,9 @@ def compile_numpy(module: Module, func_name: str, *,
     the interpreter backend (same results, interpreter speed);
     ``backend="interpreter"`` forces that path (baseline/differential
     runs).  ``tiled`` selects the sharded source variant executed
-    through :mod:`repro.tensorpipe.parallel`.
+    through :mod:`repro.tensorpipe.parallel`; ``arena`` runs the static
+    planner of :mod:`repro.tensorpipe.arena` and emits local buffers as
+    views into one preallocated per-run arena.
     """
     key = fingerprint("affine-codegen", print_module(module), func_name,
                       backend)
@@ -749,7 +772,8 @@ def compile_numpy(module: Module, func_name: str, *,
     flops = _static_flops(func)
     kernel = None
     if backend != "interpreter":
-        compiler = AffineCompiler(module, func_name, tiled=tiled)
+        plan = plan_arena(func) if arena else None
+        compiler = AffineCompiler(module, func_name, tiled=tiled, arena=plan)
         try:
             source = compiler.generate()
             namespace = {"np": np}
@@ -761,6 +785,8 @@ def compile_numpy(module: Module, func_name: str, *,
                 vectorized_nests=compiler.vectorized_nests,
                 scalar_nests=compiler.scalar_nests,
                 tileable_nests=compiler.tileable_nests,
+                arena_bytes=plan.total_bytes if plan else 0,
+                arena_slots=len(plan.slots) if plan else 0,
                 _func=func, _fn=namespace["__kernel"],
             )
         except UnsupportedAffineOp:

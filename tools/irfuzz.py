@@ -14,9 +14,14 @@ Each module must satisfy two properties, checked by
 * ``verify()`` passes (structure and registered-op constraints hold);
 * print -> parse -> print is a *fixpoint* of the textual form.
 
+Two more modes reuse the generator for differential validation:
+``--mode exec`` (compiled executor vs. interpreter, bit-for-bit) and
+``--mode analyze`` (abstract shape/dtype inference vs. the arrays the
+executor really produces — see :func:`check_analysis`).
+
 Run standalone for a longer campaign::
 
-    python tools/irfuzz.py --count 500 [--start 0]
+    python tools/irfuzz.py --count 500 [--start 0] [--mode exec|analyze]
 """
 
 from __future__ import annotations
@@ -384,6 +389,84 @@ def check_executor(seed: int, backend: str = "compiled") -> None:
                         f"interpreter for {name!r} at -O{opt_level}")
 
 
+def check_analysis(seed: int) -> None:
+    """Abstract-interpretation cross-check for one seed; raises on violation.
+
+    Lowers a random EKL kernel stage by stage and runs the typed verifier
+    (:func:`repro.ir.verifier.verify_typed`) on every level — ekl, esn,
+    teil and affine.  A raise at any level on generated-valid input is an
+    analysis false positive.  The affine-level abstracts are then checked
+    against ground truth: every function argument's inferred shape/dtype
+    must match its declared memref *and* the arrays the compiled executor
+    actually consumed and produced, and every local ``memref.alloc`` must
+    carry the zero-init constant
+    (:data:`repro.ir.analysis.MEMREF_ALLOC_ZERO_INIT`).
+    """
+    import numpy as np
+
+    from repro.frontends.ekl import parse_kernel
+    from repro.frontends.ekl.lower import (
+        lower_ekl_to_esn,
+        lower_kernel_to_ekl,
+    )
+    from repro.ir import verify_typed
+    from repro.ir.analysis import MEMREF_ALLOC_ZERO_INIT
+    from repro.tensorpipe import lower_esn_to_teil, lower_teil_to_affine
+    from repro.tensorpipe.affine_interp import _dtype_for
+    from repro.tensorpipe.codegen import compile_affine
+
+    source, inputs = generate_ekl_case(seed)
+    kernel = parse_kernel(source)
+    ekl = lower_kernel_to_ekl(kernel)
+    esn = lower_ekl_to_esn(ekl, canonicalize=False)
+    teil = lower_esn_to_teil(esn, canonicalize=False)
+    affine = lower_teil_to_affine(teil, canonicalize=False)
+    analysis = None
+    for label, module in (("ekl", ekl), ("esn", esn), ("teil", teil),
+                          ("affine", affine)):
+        try:
+            analysis = verify_typed(module)
+        except Exception as error:
+            raise AssertionError(
+                f"seed {seed}: typed verifier rejected the valid {label} "
+                f"module (analysis false positive): {error}\n{source}"
+            ) from error
+
+    func = affine.lookup(kernel.name)
+    entry = func.regions[0].entry
+    arg_names = func.attr("arg_names")
+    num_outputs = func.attr("num_outputs")
+    outputs = compile_affine(affine, kernel.name).run(inputs)
+    for i, arg in enumerate(entry.args):
+        name = arg_names[i]
+        abstract = analysis.of(arg)
+        ref = arg.type
+        if abstract.shape != tuple(ref.shape) \
+                or abstract.dtype != str(ref.element):
+            raise AssertionError(
+                f"seed {seed}: inferred {abstract} for arg {name!r} does "
+                f"not match declared {ref}\n{source}")
+        is_output = i >= len(entry.args) - num_outputs
+        array = outputs[name] if is_output else np.asarray(
+            inputs[name], dtype=_dtype_for(ref.element))
+        if tuple(array.shape) != abstract.shape:
+            raise AssertionError(
+                f"seed {seed}: executor array for {name!r} has shape "
+                f"{array.shape}, analysis inferred {abstract.shape}"
+                f"\n{source}")
+        if array.dtype != np.dtype(_dtype_for(ref.element)):
+            raise AssertionError(
+                f"seed {seed}: executor array for {name!r} has dtype "
+                f"{array.dtype}, analysis inferred {abstract.dtype!r}"
+                f"\n{source}")
+    for op in entry.operations:
+        if op.name == "memref.alloc":
+            if analysis.of(op.results[0]).const != MEMREF_ALLOC_ZERO_INIT:
+                raise AssertionError(
+                    f"seed {seed}: memref.alloc lost the zero-init "
+                    f"contract in the analysis\n{source}")
+
+
 def check_roundtrip(seed: int) -> None:
     """Assert the two fuzz properties for one seed; raises on violation."""
     module = generate_module(seed)
@@ -407,11 +490,12 @@ def main(argv=None) -> int:
                         help="number of seeds to run")
     parser.add_argument("--start", type=int, default=0,
                         help="first seed")
-    parser.add_argument("--mode", choices=["roundtrip", "exec"],
+    parser.add_argument("--mode", choices=["roundtrip", "exec", "analyze"],
                         default="roundtrip",
                         help="roundtrip: print->parse->print fixpoint; "
                              "exec: compiled executor vs. interpreter "
-                             "differential")
+                             "differential; analyze: abstract "
+                             "shape/dtype inference vs. executor arrays")
     parser.add_argument("--backend", default="compiled",
                         help="executor backend to fuzz in exec mode "
                              "(any name registered in "
@@ -419,6 +503,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.mode == "roundtrip":
         check = check_roundtrip
+        label = args.mode
+    elif args.mode == "analyze":
+        check = check_analysis
         label = args.mode
     else:
         def check(seed):
