@@ -2,8 +2,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench-runtime bench-ir bench-exec bench-serve \
-	serve-smoke fuzz-smoke fuzz-exec-smoke fuzz-analyze-smoke \
-	fuzz-runtime-smoke fuzz-runtime coverage docs-check examples lint all
+	bench-telemetry serve-smoke fuzz-smoke fuzz-exec-smoke \
+	fuzz-analyze-smoke fuzz-runtime-smoke fuzz-runtime coverage \
+	docs-check examples lint all
 
 all: test docs-check
 
@@ -17,6 +18,7 @@ test: lint
 	$(MAKE) bench-exec
 	$(MAKE) bench-runtime
 	$(MAKE) bench-serve
+	$(MAKE) bench-telemetry
 	$(MAKE) serve-smoke
 
 # bench_*.py does not match pytest's default file glob; list explicitly.
@@ -59,6 +61,15 @@ bench-serve:
 		benchmarks/bench_serve.py
 	@echo "results recorded in BENCH_serve.json"
 
+# Telemetry overhead contract: the Fig. 3 kernel and a 1,200-request
+# serve run with the no-op tracer installed must stay within budget of
+# the uninstrumented baseline (asserted in the benchmark itself);
+# records enabled-vs-disabled numbers in BENCH_telemetry.json.
+bench-telemetry:
+	$(PYTHON) -m pytest -x -q --benchmark-disable \
+		benchmarks/bench_telemetry.py
+	@echo "results recorded in BENCH_telemetry.json"
+
 # End-to-end daemon smoke through the real CLI entry point: boot
 # `basecamp serve` as a subprocess, fire concurrent clients, assert the
 # shared-cache hit rate and a clean SIGINT shutdown.
@@ -69,36 +80,38 @@ serve-smoke:
 # tier-1 tests; `python tools/irfuzz.py --count N [--mode exec]` goes
 # deeper).
 fuzz-smoke:
-	$(PYTHON) tools/irfuzz.py --count 20
-	$(PYTHON) tools/irfuzz.py --mode exec --count 20
+	$(PYTHON) tools/irfuzz.py --count 20 --quiet
+	$(PYTHON) tools/irfuzz.py --mode exec --count 20 --quiet
 
 # The executor differential fuzzer against every registered backend
 # (the 200-seed-per-backend campaigns are `python tools/irfuzz.py
 # --mode exec --count 200 --backend <name>`); forced tiling exercises
 # the sharded code path even on small fuzz kernels.
 fuzz-exec-smoke:
-	$(PYTHON) tools/irfuzz.py --mode exec --count 15 --backend compiled
+	$(PYTHON) tools/irfuzz.py --mode exec --count 15 --backend compiled \
+		--quiet
 	$(PYTHON) tools/irfuzz.py --mode exec --count 15 \
-		--backend compiled-parallel
+		--backend compiled-parallel --quiet
 	REPRO_TILE_THRESHOLD=1 REPRO_JOBS=3 $(PYTHON) tools/irfuzz.py \
-		--mode exec --count 10 --backend compiled-parallel
-	$(PYTHON) tools/irfuzz.py --mode exec --count 15 --backend cbackend
+		--mode exec --count 10 --backend compiled-parallel --quiet
+	$(PYTHON) tools/irfuzz.py --mode exec --count 15 --backend cbackend \
+		--quiet
 	$(PYTHON) tools/irfuzz.py --mode exec --count 15 \
-		--backend compiled-arena
+		--backend compiled-arena --quiet
 
 # The abstract-interpretation cross-checker: typed verification of every
 # lowering stage plus inferred-vs-executed shape/dtype agreement (the
 # 200-seed tier runs inside `pytest tests`; `python tools/irfuzz.py
 # --mode analyze --count N` goes deeper).
 fuzz-analyze-smoke:
-	$(PYTHON) tools/irfuzz.py --mode analyze --count 20
+	$(PYTHON) tools/irfuzz.py --mode analyze --count 20 --quiet
 
 # Runtime-engine workload fuzzing: random DAGs + streamed arrivals +
 # failure injection through every policy, checked against the scheduler
 # invariant suite (the 200-seed tier runs inside `pytest tests`;
 # `make fuzz-runtime` goes deeper).
 fuzz-runtime-smoke:
-	$(PYTHON) tools/workloadfuzz.py --count 60
+	$(PYTHON) tools/workloadfuzz.py --count 60 --quiet
 
 fuzz-runtime:
 	$(PYTHON) tools/workloadfuzz.py --count 1000
@@ -115,8 +128,9 @@ coverage:
 
 # Ruff is non-blocking: warnings are reported but never fail the build,
 # and a missing ruff is tolerated (the container may not ship it).  The
-# mypy gate on the analysis + arena planner modules IS blocking when
-# mypy is available: those two files stay fully annotated and clean.
+# mypy gate on the analysis + arena planner modules and the telemetry
+# package IS blocking when mypy is available: those files stay fully
+# annotated and clean.
 lint:
 	-@$(PYTHON) -m ruff check src tests benchmarks tools examples \
 		2>/dev/null || echo "lint: ruff unavailable or reported" \
@@ -124,7 +138,12 @@ lint:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy --follow-imports=silent \
 			--ignore-missing-imports --strict-equality \
-			src/repro/ir/analysis.py src/repro/tensorpipe/arena.py; \
+			src/repro/ir/analysis.py src/repro/tensorpipe/arena.py \
+			src/repro/telemetry/trace.py \
+			src/repro/telemetry/metrics.py \
+			src/repro/telemetry/export.py \
+			src/repro/telemetry/log.py \
+			src/repro/telemetry/__init__.py; \
 	else \
 		echo "lint: mypy unavailable (gate skipped)"; \
 	fi

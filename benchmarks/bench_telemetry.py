@@ -1,0 +1,257 @@
+"""BENCH-TELEMETRY: the observability subsystem must be near-free.
+
+The telemetry package (``repro.telemetry``) instruments the pipeline
+session, the executor backends, the runtime engine and the serve
+daemon.  Its contract is that the *disabled* default (the no-op
+tracer singleton) costs effectively nothing, and the *enabled*
+recording tracer stays cheap enough to leave on under load.  This
+benchmark regenerates both claims:
+
+* ``fig3`` — the Fig. 3 major-absorber kernel run bare, wrapped in a
+  disabled (null) span, and wrapped in a recording span.  The
+  disabled wrapper — exactly what the instrumented hot paths execute
+  by default — must add <= 2% over the bare run;
+* ``serve`` — a 1,200-request mixed workload against a real
+  :class:`~repro.basecamp.serve.BasecampServer`, once with telemetry
+  disabled and once recording.  The per-request cost of the disabled
+  telemetry operations (one null span + the metrics-registry updates
+  every admitted request performs) must be <= 2% of the measured
+  disabled p50.
+
+Results land in ``BENCH_telemetry.json`` (run via
+``make bench-telemetry``) under a wall-clock budget.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.basecamp.serve import BasecampServer
+from repro.pipeline import PipelineSession
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer, disable, enable, get_tracer
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_telemetry.json"
+
+_RESULTS = {}
+_T0 = time.perf_counter()
+_WALL_BUDGET_SECONDS = 120.0
+
+#: The hard ceiling on instrumentation cost when telemetry is off.
+_DISABLED_OVERHEAD_LIMIT_PCT = 2.0
+
+N_REQUESTS = 1200
+N_CLIENTS = 16
+
+KERNEL_TEMPLATE = """
+kernel tel{i} {{
+  index i: 32, j: 4
+  input a[i, j]: f64
+  input b[i, j]: f64
+  output c
+  c = sum[j](a * b + {i}.0)
+}}
+"""
+
+
+def _record(section, payload):
+    _RESULTS[section] = payload
+    _RESULTS["wall_clock_seconds"] = round(time.perf_counter() - _T0, 3)
+    _RESULTS["wall_clock_budget_seconds"] = _WALL_BUDGET_SECONDS
+    RESULTS_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True)
+                            + "\n")
+
+
+def _best_of(fn, runs):
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _percentile(sorted_values, q):
+    index = min(len(sorted_values) - 1,
+                int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+@pytest.fixture(autouse=True)
+def _tracer_off():
+    """Every measurement starts from the disabled default."""
+    disable()
+    yield
+    disable()
+
+
+def test_fig3_disabled_span_overhead(rrtmg_affine, rrtmg_inputs):
+    from repro.tensorpipe.codegen import compile_affine
+
+    kernel, module = rrtmg_affine
+    compiled = compile_affine(module, kernel.name)
+    inputs = dict(rrtmg_inputs)
+
+    def bare():
+        compiled.run(inputs)
+
+    def wrapped():
+        # The exact shape of every instrumented hot path: fetch the
+        # process tracer, open a span, do the work.
+        tracer = get_tracer()
+        with tracer.span("execute/run", category="exec"):
+            compiled.run(inputs)
+
+    runs = 50
+    bare_s = _best_of(bare, runs)
+    disabled_s = _best_of(wrapped, runs)
+
+    recording = enable()
+    try:
+        def enabled_once():
+            recording.clear()
+            wrapped()
+        enabled_s = _best_of(enabled_once, runs)
+    finally:
+        disable()
+
+    disabled_pct = max(0.0, (disabled_s - bare_s) / bare_s * 100.0)
+    enabled_pct = max(0.0, (enabled_s - bare_s) / bare_s * 100.0)
+    payload = {
+        "kernel": "tau_major",
+        "bare_ms": round(bare_s * 1e3, 6),
+        "disabled_ms": round(disabled_s * 1e3, 6),
+        "enabled_ms": round(enabled_s * 1e3, 6),
+        "disabled_overhead_pct": round(disabled_pct, 3),
+        "enabled_overhead_pct": round(enabled_pct, 3),
+        "runs": runs,
+    }
+    assert disabled_pct <= _DISABLED_OVERHEAD_LIMIT_PCT, (
+        f"disabled telemetry adds {disabled_pct:.2f}% to the Fig. 3 "
+        f"kernel (budget {_DISABLED_OVERHEAD_LIMIT_PCT}%)")
+    _record("fig3", payload)
+    print(f"\n  fig3: bare {payload['bare_ms']}ms, disabled "
+          f"+{disabled_pct:.2f}%, enabled +{enabled_pct:.2f}%")
+
+
+def _post(url, endpoint, payload, timeout=60):
+    request = urllib.request.Request(
+        f"{url}/{endpoint}", data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _request_for(i):
+    kernel = KERNEL_TEMPLATE.format(i=i % 6)
+    if i % 4 < 3:
+        return "compile", {"source": kernel}
+    return "execute", {"source": kernel, "random_seed": 0}
+
+
+def _serve_run(tracer):
+    """1,200 mixed requests against a fresh daemon; returns latencies."""
+    if tracer is not None:
+        enable(tracer)
+    else:
+        disable()
+    server = BasecampServer(port=0, session=PipelineSession(),
+                            max_workers=8, queue_limit=N_REQUESTS).start()
+    latencies = []
+    statuses = []
+    lock = threading.Lock()
+
+    def client(i):
+        endpoint, payload = _request_for(i)
+        start = time.perf_counter()
+        status, _ = _post(server.url, endpoint, payload)
+        elapsed = time.perf_counter() - start
+        with lock:
+            statuses.append(status)
+            latencies.append(elapsed)
+
+    try:
+        wall_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            list(pool.map(client, range(N_REQUESTS)))
+        wall = time.perf_counter() - wall_start
+    finally:
+        server.shutdown()
+        disable()
+    assert all(status == 200 for status in statuses)
+    latencies.sort()
+    return latencies, wall
+
+
+def _disabled_request_cost_seconds():
+    """What disabled telemetry adds to one admitted request: one null
+    span plus the registry updates ``BasecampService.handle`` performs
+    (request counter, outcome counter, latency observation)."""
+    registry = MetricsRegistry()
+    requests = registry.counter("c_total", "", ("endpoint",))
+    outcomes = registry.counter("o_total", "", ("outcome",))
+    latency = registry.histogram("h_seconds", "", ("endpoint",))
+    iterations = 20000
+
+    def one_batch():
+        for _ in range(iterations):
+            tracer = get_tracer()
+            with tracer.span("request:execute", category="request"):
+                requests.inc(endpoint="execute")
+                outcomes.inc(outcome="ok")
+                latency.observe(0.01, endpoint="execute")
+
+    return _best_of(one_batch, 3) / iterations
+
+
+def test_serve_1200_requests_disabled_vs_enabled():
+    disabled_lat, disabled_wall = _serve_run(None)
+    recording = Tracer()
+    enabled_lat, enabled_wall = _serve_run(recording)
+    spans = len(recording.spans())
+    per_request = _disabled_request_cost_seconds()
+
+    p50_disabled = _percentile(disabled_lat, 0.50)
+    p50_enabled = _percentile(enabled_lat, 0.50)
+    disabled_pct = per_request / p50_disabled * 100.0
+    payload = {
+        "requests": N_REQUESTS,
+        "clients": N_CLIENTS,
+        "disabled_p50_ms": round(p50_disabled * 1e3, 3),
+        "disabled_p99_ms": round(_percentile(disabled_lat, 0.99) * 1e3, 3),
+        "disabled_wall_seconds": round(disabled_wall, 3),
+        "enabled_p50_ms": round(p50_enabled * 1e3, 3),
+        "enabled_p99_ms": round(_percentile(enabled_lat, 0.99) * 1e3, 3),
+        "enabled_wall_seconds": round(enabled_wall, 3),
+        "enabled_spans_recorded": spans,
+        "disabled_telemetry_us_per_request": round(per_request * 1e6, 3),
+        "disabled_overhead_pct": round(disabled_pct, 4),
+        "enabled_p50_overhead_pct": round(
+            (p50_enabled - p50_disabled) / p50_disabled * 100.0, 2),
+    }
+    assert spans > N_REQUESTS, \
+        "the recording run must capture at least one span per request"
+    assert disabled_pct <= _DISABLED_OVERHEAD_LIMIT_PCT, (
+        f"disabled telemetry costs {disabled_pct:.3f}% of the serve p50 "
+        f"(budget {_DISABLED_OVERHEAD_LIMIT_PCT}%)")
+    _record("serve", payload)
+    print(f"\n  serve: disabled p50 {payload['disabled_p50_ms']}ms, "
+          f"enabled p50 {payload['enabled_p50_ms']}ms, telemetry "
+          f"{payload['disabled_telemetry_us_per_request']}us/request "
+          f"({disabled_pct:.3f}% of p50)")
+
+
+def test_wall_clock_budget():
+    elapsed = time.perf_counter() - _T0
+    assert elapsed < _WALL_BUDGET_SECONDS, \
+        f"bench-telemetry took {elapsed:.1f}s (budget {_WALL_BUDGET_SECONDS}s)"

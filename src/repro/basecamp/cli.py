@@ -33,9 +33,34 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.errors import EverestError
+
+
+@contextmanager
+def _tracing(path: Optional[str]) -> Iterator[None]:
+    """Record telemetry spans for the wrapped command into ``path``.
+
+    ``--trace out.json`` installs a recording tracer for the duration
+    of the command and writes Chrome trace-event JSON on the way out —
+    load it at https://ui.perfetto.dev (or ``chrome://tracing``).
+    """
+    if not path:
+        yield
+        return
+    from repro.telemetry.export import write_chrome_trace
+    from repro.telemetry.trace import disable, enable
+
+    tracer = enable()
+    try:
+        yield
+    finally:
+        disable()
+        events = write_chrome_trace(path, tracer)
+        print(f"trace: {events} event(s) -> {path} "
+              "(open in https://ui.perfetto.dev)", file=sys.stderr)
 
 
 def _read_source(source_path: str) -> str:
@@ -96,15 +121,16 @@ def cmd_olympus(args) -> int:
 
 
 def cmd_pipeline(args) -> int:
-    session = _session()
-    plan = session.deploy(_read_source(args.source), device=args.device,
-                          nodes=args.nodes, parallel=not args.serial,
-                          opt_level=args.opt_level)
-    schedule = plan.schedule
-    print(f"deployed on {args.nodes} nodes: "
-          f"{len(schedule.placements)} task(s), "
-          f"makespan {schedule.makespan * 1e6:.2f} us")
-    print(session.report.summary())
+    with _tracing(args.trace):
+        session = _session()
+        plan = session.deploy(_read_source(args.source), device=args.device,
+                              nodes=args.nodes, parallel=not args.serial,
+                              opt_level=args.opt_level)
+        schedule = plan.schedule
+        print(f"deployed on {args.nodes} nodes: "
+              f"{len(schedule.placements)} task(s), "
+              f"makespan {schedule.makespan * 1e6:.2f} us")
+        print(session.report.summary())
     return 0
 
 
@@ -132,6 +158,11 @@ def _gather_run_inputs(module, func_name: str, args):
 
 
 def cmd_run(args) -> int:
+    with _tracing(args.trace):
+        return _cmd_run(args)
+
+
+def _cmd_run(args) -> int:
     import numpy as np
 
     session = _session()
@@ -225,6 +256,11 @@ def cmd_detect(args) -> int:
 
 
 def cmd_runtime(args) -> int:
+    with _tracing(args.trace):
+        return _cmd_runtime(args)
+
+
+def _cmd_runtime(args) -> int:
     from repro.errors import EverestError
     from repro.runtime import ClusterMonitor, default_cluster
     from repro.runtime.engine import (
@@ -268,7 +304,15 @@ def cmd_runtime(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.basecamp.serve import BasecampServer
+    from repro.telemetry.log import configure_logging
 
+    # --verbose is sugar for per-request access logging: it marks the
+    # handler chatty (info-level) and raises the default log level so
+    # the lines actually surface.  An explicit --log-level always wins.
+    level = args.log_level
+    if args.verbose and level == "warning":
+        level = "info"
+    configure_logging(level)
     server = BasecampServer(host=args.host, port=args.port,
                             max_workers=args.max_workers,
                             queue_limit=args.queue_limit,
@@ -276,7 +320,7 @@ def cmd_serve(args) -> int:
     host, port = server.address
     print(f"basecamp serve: listening on http://{host}:{port} "
           f"({args.max_workers} worker(s), queue {args.queue_limit}); "
-          "POST /compile /execute /runtime, GET /stats /healthz",
+          "POST /compile /execute /runtime, GET /stats /metrics /healthz",
           flush=True)
     try:
         server.serve_forever()
@@ -343,6 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--opt-level", type=int, choices=[0, 1, 2], default=1,
                    help="0: raw lowering, 1: canonicalize (fold/DCE/CSE), "
                         "2: canonicalize + inline")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record telemetry spans and write Chrome "
+                        "trace-event JSON (view in Perfetto)")
     p.set_defaults(fn=cmd_pipeline)
 
     p = sub.add_parser("run",
@@ -371,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time", action="store_true",
                    help="also run the interpreter backend, check the "
                         "outputs match and print the speedup")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record telemetry spans and write Chrome "
+                        "trace-event JSON (view in Perfetto)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("dialects", help="the Fig. 5 dialect graph")
@@ -398,6 +448,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fraction of tasks marked for FPGA offload")
     p.add_argument("--fail", default=None, metavar="NODE@SIM_SECONDS",
                    help="inject a node failure mid-run, e.g. node1@5.0")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record telemetry spans (simulated-clock task "
+                        "placements included) as Chrome trace-event JSON")
     p.set_defaults(fn=cmd_runtime)
 
     p = sub.add_parser("serve",
@@ -410,7 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-limit", type=int, default=16, metavar="N",
                    help="max queued requests before 429 rejection")
     p.add_argument("--verbose", action="store_true",
-                   help="log every request to stderr")
+                   help="log every request (shorthand for --log-level "
+                        "info plus per-request access lines)")
+    p.add_argument("--log-level", default="warning",
+                   choices=["debug", "info", "warning", "error"],
+                   help="threshold for the repro.* structured logger")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="platform catalog")

@@ -28,8 +28,18 @@ Endpoints (all JSON):
 ``POST /runtime``   ``{policy?, nodes?, tasks?, seed?, fpga_fraction?}``
                     -> per-policy makespan/transfers/rescheduled
 ``GET /stats``      cache, single-flight and admission counters
+``GET /metrics``    the same state as Prometheus text exposition
 ``GET /healthz``    liveness probe
 ==================  ===================================================
+
+Every counter behind ``/stats`` lives in a
+:class:`~repro.telemetry.metrics.MetricsRegistry` owned by the service;
+``/stats`` (the JSON view) and ``/metrics`` (the Prometheus view) read
+the same registry, so the two can never disagree.  When a recording
+tracer is installed (``repro.telemetry.trace.enable``), each POST grows
+one span tree (request → stages → kernel run) and the response carries
+its root ``span_id``.  Per-request access logging goes through the
+``repro.serve`` structured logger (``--log-level info`` shows it).
 
 SDK errors map to ``400`` with ``{"error": ...}``; saturation maps to
 ``429``; anything unexpected maps to ``500``.  See ``docs/serve.md``.
@@ -38,6 +48,7 @@ SDK errors map to ``400`` with ``{"error": ...}``; saturation maps to
 from __future__ import annotations
 
 import json
+import logging
 import math
 import threading
 import time
@@ -46,6 +57,12 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import EverestError
 from repro.pipeline import PipelineSession
+from repro.telemetry.export import prometheus_text
+from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+from repro.telemetry.trace import get_tracer
+
+_LOG = get_logger("serve")
 
 #: Upper bound on request bodies: kernels and input arrays are small;
 #: anything bigger is a client bug, not a workload.
@@ -94,9 +111,35 @@ class BasecampService:
         self._active = 0
         self._ewma_seconds = 0.05
         self._started = time.time()
-        self.counters: Dict[str, int] = {
-            "requests": 0, "ok": 0, "rejected": 0, "errors": 0,
-            "compile": 0, "execute": 0, "runtime": 0,
+        # All request accounting lives in a service-private registry;
+        # /stats and /metrics are two renderings of it.
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "basecamp_requests_total",
+            "POST requests received, by endpoint", ("endpoint",))
+        self._responses = self.metrics.counter(
+            "basecamp_responses_total",
+            "Request outcomes (ok / error / rejected)", ("outcome",))
+        self._latency = self.metrics.histogram(
+            "basecamp_request_seconds",
+            "Wall latency of admitted requests, by endpoint",
+            ("endpoint",))
+        self._gauges = {
+            name: self.metrics.gauge(f"basecamp_{name}", help)
+            for name, help in (
+                ("active_requests", "Requests admitted and not yet done"),
+                ("max_workers", "Concurrent-execution limit"),
+                ("queue_limit", "Admission queue depth limit"),
+                ("ewma_request_seconds",
+                 "Exponential moving average of request latency"),
+                ("uptime_seconds", "Seconds since service start"),
+                ("cache_entries", "Stage-cache entries in the session"),
+                ("cache_hits", "Stage-cache hits since start"),
+                ("cache_misses", "Stage-cache misses since start"),
+                ("singleflight_leaders", "Single-flight leader executions"),
+                ("singleflight_waits", "Single-flight waiter joins"),
+                ("tile_pool_workers", "Worker threads in the tile pool"),
+            )
         }
 
     # -- admission control -------------------------------------------------------------
@@ -108,7 +151,7 @@ class BasecampService:
                 hint = max(1, min(30, math.ceil(
                     self._ewma_seconds * max(1, queued)
                     / self.max_workers)))
-                self.counters["rejected"] += 1
+                self._responses.inc(outcome="rejected")
                 raise ServiceSaturated(
                     f"server saturated: {self.max_workers} executing, "
                     f"{queued} queued (queue limit {self.queue_limit}); "
@@ -118,7 +161,12 @@ class BasecampService:
     def _release(self, seconds: float) -> None:
         with self._lock:
             self._active -= 1
-            self._ewma_seconds += 0.2 * (seconds - self._ewma_seconds)
+            # Floor the EWMA: sub-millisecond health-check-sized bodies
+            # would otherwise decay it toward zero and the Retry-After
+            # hint (ewma * queued / workers, ceil'd) would stop growing
+            # with queue depth in any meaningful way.
+            self._ewma_seconds = max(0.001, self._ewma_seconds
+                                     + 0.2 * (seconds - self._ewma_seconds))
 
     # -- request dispatch --------------------------------------------------------------
 
@@ -133,23 +181,21 @@ class BasecampService:
                                "available: compile, execute, runtime")
         if not isinstance(payload, dict):
             raise EverestError("request body must be a JSON object")
-        with self._lock:
-            self.counters["requests"] += 1
-            self.counters[endpoint] += 1
+        self._requests.inc(endpoint=endpoint)
         self._admit()
         start = time.perf_counter()
         try:
             with self._workers:  # blocking acquire == the bounded queue
                 result = handler(payload)
-            with self._lock:
-                self.counters["ok"] += 1
+            self._responses.inc(outcome="ok")
             return result
         except EverestError:
-            with self._lock:
-                self.counters["errors"] += 1
+            self._responses.inc(outcome="error")
             raise
         finally:
-            self._release(time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self._latency.observe(elapsed, endpoint=endpoint)
+            self._release(elapsed)
 
     # -- endpoints ---------------------------------------------------------------------
 
@@ -257,21 +303,48 @@ class BasecampService:
 
     # -- introspection -----------------------------------------------------------------
 
-    def stats(self) -> Dict[str, Any]:
+    def _refresh_gauges(self) -> None:
+        """Sample point-in-time state into the gauges (scrape time)."""
+        from repro.tensorpipe.parallel import pool_size
+
         cache = self.session.cache
         flight = self.session.singleflight
         with self._lock:
-            counters = dict(self.counters)
             active = self._active
             ewma = self._ewma_seconds
+        gauges = self._gauges
+        gauges["active_requests"].set(active)
+        gauges["max_workers"].set(self.max_workers)
+        gauges["queue_limit"].set(self.queue_limit)
+        gauges["ewma_request_seconds"].set(ewma)
+        gauges["uptime_seconds"].set(time.time() - self._started)
+        gauges["cache_entries"].set(len(cache))
+        gauges["cache_hits"].set(cache.stats.hits)
+        gauges["cache_misses"].set(cache.stats.misses)
+        gauges["singleflight_leaders"].set(flight.leaders)
+        gauges["singleflight_waits"].set(flight.waits)
+        gauges["tile_pool_workers"].set(pool_size())
+
+    def stats(self) -> Dict[str, Any]:
+        self._refresh_gauges()
+        cache = self.session.cache
+        flight = self.session.singleflight
+        gauges = self._gauges
         return {
             "server": {
-                **counters,
-                "active": active,
+                "requests": int(self._requests.total()),
+                "ok": int(self._responses.value(outcome="ok")),
+                "rejected": int(self._responses.value(outcome="rejected")),
+                "errors": int(self._responses.value(outcome="error")),
+                "compile": int(self._requests.value(endpoint="compile")),
+                "execute": int(self._requests.value(endpoint="execute")),
+                "runtime": int(self._requests.value(endpoint="runtime")),
+                "active": int(gauges["active_requests"].value()),
                 "max_workers": self.max_workers,
                 "queue_limit": self.queue_limit,
-                "ewma_request_seconds": ewma,
-                "uptime_seconds": time.time() - self._started,
+                "ewma_request_seconds":
+                    gauges["ewma_request_seconds"].value(),
+                "uptime_seconds": gauges["uptime_seconds"].value(),
             },
             "cache": {
                 "entries": len(cache),
@@ -285,6 +358,12 @@ class BasecampService:
             },
         }
 
+    def metrics_text(self) -> str:
+        """The service-private plus process-global registries rendered
+        in Prometheus text exposition (the ``GET /metrics`` body)."""
+        self._refresh_gauges()
+        return prometheus_text(self.metrics, get_registry())
+
 
 class _Handler(BaseHTTPRequestHandler):
     """JSON-over-HTTP front of one :class:`BasecampService`."""
@@ -295,8 +374,12 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     def log_message(self, fmt, *args):  # noqa: D102 (stdlib signature)
-        if not self.quiet:
-            super().log_message(fmt, *args)
+        # BaseHTTPRequestHandler writes straight to stderr; route the
+        # per-request chatter through the structured logger instead so
+        # one --log-level flag governs it (info when chatty was asked
+        # for, debug otherwise — invisible at the default warning).
+        _LOG.log(logging.DEBUG if self.quiet else logging.INFO,
+                 "%s %s", self.address_string(), fmt % args)
 
     def _reply(self, status: int, body: Dict[str, Any],
                headers: Optional[Dict[str, str]] = None) -> None:
@@ -309,22 +392,42 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _reply_text(self, status: int, text: str,
+                    content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
         if self.path == "/healthz":
             self._reply(200, {"status": "ok"})
         elif self.path == "/stats":
             self._reply(200, self.service.stats())
+        elif self.path == "/metrics":
+            self._reply_text(200, self.service.metrics_text(),
+                             "text/plain; version=0.0.4; charset=utf-8")
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}; "
-                                       "GET /healthz, GET /stats, or POST "
-                                       "/compile, /execute, /runtime"})
+                                       "GET /healthz, /stats, /metrics, or "
+                                       "POST /compile, /execute, /runtime"})
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
         endpoint = self.path.lstrip("/")
+        tracer = get_tracer()
+        with tracer.span(f"request:{endpoint}", category="request") as span:
+            if tracer.enabled:
+                span.attrs["endpoint"] = endpoint
+            self._do_post(endpoint, span)
+
+    def _do_post(self, endpoint: str, span) -> None:
         try:
             length = int(self.headers.get("Content-Length") or 0)
             if length > MAX_BODY_BYTES:
                 # Body left unread: drop the connection after replying.
+                span.set("status", 413)
                 self._reply(413, {"error": "request body too large"},
                             headers={"Connection": "close"})
                 self.close_connection = True
@@ -333,19 +436,27 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 payload = json.loads(raw.decode("utf-8") or "{}")
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                span.set("status", 400)
                 self._reply(400, {"error": f"invalid JSON body: {error}"})
                 return
             result = self.service.handle(endpoint, payload)
+            span.set("status", 200)
+            if span.span_id:
+                # Tracing is on: tie the response to its span tree.
+                result["span_id"] = span.span_id
             self._reply(200, result)
         except ServiceSaturated as error:
+            span.set("status", 429)
             self._reply(429, {"error": str(error),
                               "retry_after": error.retry_after},
                         headers={"Retry-After": str(error.retry_after)})
         except EverestError as error:
+            span.set("status", 400)
             self._reply(400, {"error": str(error)})
         except BrokenPipeError:
             pass  # client went away mid-response
         except Exception as error:  # noqa: BLE001 — daemon must not die
+            span.set("status", 500)
             self._reply(500, {"error": f"internal error: "
                                        f"{type(error).__name__}: {error}"})
 

@@ -156,6 +156,17 @@ class HLSEngine:
 
     def synthesize(self, module: Module, func_name: str) -> KernelReport:
         """Synthesize one affine-level function."""
+        from repro.telemetry.trace import get_tracer
+        tracer = get_tracer()
+        with tracer.span("hls.synthesize", category="compile") as span:
+            if tracer.enabled:
+                span.attrs.update(func=func_name,
+                                  clock_mhz=self.clock_mhz)
+            report = self._synthesize(module, func_name)
+            span.set("nests", len(report.nests))
+        return report
+
+    def _synthesize(self, module: Module, func_name: str) -> KernelReport:
         func = module.lookup(func_name)
         if func.attr("kernel_lang") != "affine":
             raise HLSError(f"{func_name}: not an affine-level function "

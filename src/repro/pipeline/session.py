@@ -21,6 +21,7 @@ from repro.errors import EverestError, PipelineError
 from repro.pipeline.cache import StageCache, fingerprint
 from repro.pipeline.report import PipelineReport, StageClock
 from repro.pipeline.stage import Stage, StageRegistry
+from repro.telemetry.trace import get_tracer
 from repro.pipeline.stages import (
     CompileResult,
     DeploymentPlan,
@@ -44,15 +45,21 @@ class SingleFlightStats:
 
 
 class _Flight:
-    """One in-flight stage execution other callers can wait on."""
+    """One in-flight stage execution other callers can wait on.
 
-    __slots__ = ("done", "value", "error", "waiters")
+    ``span_id`` is the leader's stage-span id when tracing is enabled;
+    waiter spans record it as ``leader_span`` so a trace shows which
+    flight a blocked caller piggybacked on.
+    """
+
+    __slots__ = ("done", "value", "error", "waiters", "span_id")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.value: Any = None
         self.error: Optional[BaseException] = None
         self.waiters = 0
+        self.span_id = 0
 
 
 class PipelineSession:
@@ -118,6 +125,34 @@ class PipelineSession:
 
         Returns ``(stage_key, result)``.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._run_stage(name, payload, key=key, params=params,
+                                   runtime_params=runtime_params,
+                                   parallel=parallel, detail=detail,
+                                   span=None)
+        with tracer.span(f"stage:{name}", category="stage") as span:
+            if detail:
+                span.attrs["detail"] = detail
+            if parallel:
+                span.attrs["parallel"] = True
+            return self._run_stage(name, payload, key=key, params=params,
+                                   runtime_params=runtime_params,
+                                   parallel=parallel, detail=detail,
+                                   span=span)
+
+    def _run_stage(self, name: str, payload: Any, *, key: str,
+                   params: Optional[Dict[str, Any]],
+                   runtime_params: Optional[Dict[str, Any]],
+                   parallel: bool, detail: str,
+                   span: Optional[Any]) -> Tuple[str, Any]:
+        """The cache/single-flight/execute core behind :meth:`run_stage`.
+
+        ``span`` is the caller's open stage span (None when tracing is
+        off); this method only annotates it — cache outcome and
+        single-flight role — so the trace explains where the time went
+        without a second timing source.
+        """
         stage = self.registry.get(name)
         params = dict(params or {})
         stage_key = self.stage_key(name, params, key)
@@ -125,6 +160,8 @@ class PipelineSession:
         if stage.cacheable:
             hit, value = self.cache.lookup(stage_key)
             if hit:
+                if span is not None:
+                    span.attrs["cached"] = True
                 self.report.record(name, 0.0, cached=True, parallel=parallel,
                                    detail=detail)
                 return stage_key, value
@@ -132,14 +169,21 @@ class PipelineSession:
                 leader = stage_key not in self._inflight
                 if leader:
                     flight = self._inflight[stage_key] = _Flight()
+                    if span is not None:
+                        flight.span_id = span.span_id
                 else:
                     flight = self._inflight[stage_key]
                     flight.waiters += 1
                     self.singleflight.waits += 1
             if not leader:
+                if span is not None:
+                    span.attrs["singleflight"] = "waiter"
+                    span.attrs["leader_span"] = flight.span_id
                 flight.done.wait()
                 if flight.error is not None:
                     raise flight.error
+                if span is not None:
+                    span.attrs["cached"] = True
                 self.report.record(name, 0.0, cached=True, parallel=parallel,
                                    detail=detail)
                 return stage_key, flight.value
@@ -149,6 +193,8 @@ class PipelineSession:
             hit, value = self.cache.peek(stage_key)
             if hit:
                 self._land(stage_key, flight, value=value)
+                if span is not None:
+                    span.attrs["cached"] = True
                 self.report.record(name, 0.0, cached=True, parallel=parallel,
                                    detail=detail)
                 return stage_key, value
@@ -171,6 +217,9 @@ class PipelineSession:
             self.cache.store(stage_key, value)
         if flight is not None:
             self._land(stage_key, flight, value=value)
+            if span is not None and flight.waiters:
+                span.attrs["singleflight"] = "leader"
+                span.attrs["waiters"] = flight.waiters
         self.report.record(name, clock.seconds, cached=False,
                            parallel=parallel, detail=detail)
         return stage_key, value
@@ -276,8 +325,12 @@ class PipelineSession:
         key, kernel = self.run_stage(
             "execute", (result.kernel, result.module), key=result.key,
             params={"backend": backend}, detail=backend)
-        with StageClock() as clock:
-            outputs = kernel.run(inputs, jobs=jobs)
+        tracer = get_tracer()
+        with tracer.span("execute/run", category="exec",
+                         attrs={"backend": kernel.backend}
+                         if tracer.enabled else None):
+            with StageClock() as clock:
+                outputs = kernel.run(inputs, jobs=jobs)
         self.report.record("execute/run", clock.seconds, cached=False,
                            detail=kernel.backend, aux=True)
         return ExecutionResult(kernel, outputs, clock.seconds, key=key)

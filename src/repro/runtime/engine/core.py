@@ -48,6 +48,7 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.taskgraph import Future, ResourceRequest, TaskGraph
 from repro.runtime.timeline import NodeTimeline
+from repro.telemetry.trace import get_tracer
 
 PENDING = "pending"      # submitted, not yet placed
 PLACED = "placed"        # placement committed, start event queued
@@ -253,10 +254,23 @@ class RuntimeEngine:
     # ------------------------------------------------------------------
 
     def _dispatch(self, now: float) -> None:
-        if getattr(self.policy, "online", False):
-            self._dispatch_online(now)
-        else:
-            self._dispatch_offline(now)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            if getattr(self.policy, "online", False):
+                self._dispatch_online(now)
+            else:
+                self._dispatch_offline(now)
+            return
+        # The dispatch span measures *real* planning time (the policy's
+        # placement search runs on the wall clock even though the tasks
+        # it places live on the simulated one).
+        with tracer.span("engine.dispatch", category="engine") as span:
+            span.attrs.update(policy=type(self.policy).__name__,
+                              pending=len(self._pending), sim_now=now)
+            if getattr(self.policy, "online", False):
+                self._dispatch_online(now)
+            else:
+                self._dispatch_offline(now)
 
     def _finish_of(self, dep: int) -> float:
         if dep not in self.placements:
@@ -277,9 +291,12 @@ class RuntimeEngine:
         # the committed state only changes once the whole plan succeeds.
         scratch = {name: timeline.clone()
                    for name, timeline in self.timelines.items()}
-        plan = self.policy.schedule(subgraph, self.cluster,
-                                    ready_overrides=ready,
-                                    timelines=scratch)
+        tracer = get_tracer()
+        with tracer.span("engine.plan", category="engine") as span:
+            span.set("tasks", len(subgraph.tasks))
+            plan = self.policy.schedule(subgraph, self.cluster,
+                                        ready_overrides=ready,
+                                        timelines=scratch)
         reverse = {v: k for k, v in id_map.items()}
         for new_id, placement in plan.placements.items():
             tid = reverse[new_id]
@@ -351,6 +368,17 @@ class RuntimeEngine:
         self.graph.results[tid] = result
         self._state[tid] = DONE
         self._unfinished -= 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Task execution lives on the *simulated* clock: the span is
+            # the committed placement interval, laned by cluster node.
+            placement = self.placements[tid]
+            tracer.record_span(
+                f"task:{self.graph.tasks[tid].name}",
+                placement.start, placement.finish,
+                track=placement.node, category="task",
+                attrs={"task_id": tid, "cores": placement.cores,
+                       "epoch": epoch})
         for dependent in self._dependents.pop(tid, ()):
             if self._blockers.get(dependent, 0) > 0:
                 self._blockers[dependent] -= 1
@@ -409,5 +437,13 @@ class RuntimeEngine:
             if blockers == 0:
                 self._ready.append(tid)
         self.rescheduled_tasks += len(lost)
+        tracer = get_tracer()
+        if tracer.enabled and lost:
+            tracer.record_span(f"failure:{name}", now, now,
+                               track=name, category="failure",
+                               attrs={"lost_tasks": len(lost)})
         if lost:
-            self._dispatch(now)
+            with tracer.span("engine.reschedule", category="engine") \
+                    as span:
+                span.attrs.update(node=name, lost=len(lost))
+                self._dispatch(now)

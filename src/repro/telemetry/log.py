@@ -1,0 +1,109 @@
+"""One structured logger for the whole SDK (``repro.*`` hierarchy).
+
+Every subsystem that used to ``print`` progress to stderr (the serve
+daemon's per-request chatter, the fuzz harnesses) now routes through
+:func:`get_logger`, so one ``--log-level`` flag (or
+:func:`configure_logging` call) controls all of it and concurrent
+writers no longer interleave raw lines.
+
+The format is logfmt-flavored — fixed ``ts``/``level``/``logger``
+fields followed by the message — machine-greppable without being JSON:
+
+.. code-block:: text
+
+    ts=2026-08-08T12:00:00.123 level=info logger=repro.serve msg="..." path=/compile status=200
+
+Use :func:`kv` to append structured key/value pairs to a message.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import threading
+from typing import IO, Dict, Optional
+
+from repro.errors import EverestError
+
+#: Root of the SDK logger hierarchy.
+ROOT_NAME = "repro"
+
+LEVELS: Dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_CONFIGURE_LOCK = threading.Lock()
+_HANDLER: Optional[logging.Handler] = None
+
+
+class _LogfmtFormatter(logging.Formatter):
+    """``ts=... level=... logger=... msg="..."`` lines."""
+
+    default_msec_format = "%s.%03d"
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        if record.exc_info and record.exc_info[0] is not None:
+            message += f" exc={record.exc_info[0].__name__}"
+        ts = self.formatTime(record, "%Y-%m-%dT%H:%M:%S")
+        return (f"ts={ts} level={record.levelname.lower()} "
+                f"logger={record.name} msg={_quote(message)}")
+
+
+def _quote(text: str) -> str:
+    if text and " " not in text and '"' not in text and "=" not in text \
+            and "\n" not in text:
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+def kv(**pairs: object) -> str:
+    """Render key/value pairs in logfmt (append to a log message)."""
+    return " ".join(f"{key}={_quote(str(value))}"
+                    for key, value in pairs.items())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("serve")``
+    -> ``repro.serve``); plain :mod:`logging` underneath, so embedding
+    applications can attach their own handlers/filters."""
+    return logging.getLogger(f"{ROOT_NAME}.{name}" if name else ROOT_NAME)
+
+
+def resolve_level(level: str) -> int:
+    """Map a ``--log-level`` string to a :mod:`logging` level."""
+    resolved = LEVELS.get(level.lower())
+    if resolved is None:
+        raise EverestError(
+            f"unknown log level {level!r}; "
+            f"available: {', '.join(sorted(LEVELS))}")
+    return resolved
+
+
+def configure_logging(level: str = "warning", *,
+                      stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Install (or retune) the single stderr handler on the ``repro``
+    root logger.
+
+    Idempotent: repeated calls adjust the level and stream of the one
+    installed handler instead of stacking new ones (stacked handlers
+    are how duplicated log lines happen).  Returns the root logger.
+    """
+    root = get_logger()
+    resolved = resolve_level(level)
+    global _HANDLER
+    with _CONFIGURE_LOCK:
+        if _HANDLER is None:
+            _HANDLER = logging.StreamHandler(stream or sys.stderr)
+            _HANDLER.setFormatter(_LogfmtFormatter())
+            root.addHandler(_HANDLER)
+            root.propagate = False
+        elif stream is not None:
+            _HANDLER.setStream(stream)
+        root.setLevel(resolved)
+    return root

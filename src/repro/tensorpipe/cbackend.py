@@ -56,6 +56,8 @@ from repro.errors import EverestError
 from repro.ir import Module, Operation, Value
 from repro.ir.printer import print_module
 from repro.pipeline.cache import fingerprint
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import get_tracer
 from repro.tensorpipe.codegen import (
     CompiledKernel,
     UnsupportedAffineOp,
@@ -381,6 +383,12 @@ def cache_dir() -> str:
     return base
 
 
+#: Outcomes of ``cc`` invocations (``cached`` = .so already installed).
+_CC_RUNS = get_registry().counter(
+    "repro_cbackend_cc_total",
+    "C-backend shared-object builds by outcome", ("result",))
+
+
 def compile_shared_object(cc: str, source: str, key: str) -> str:
     """Compile ``source`` into ``<cache>/<key>.so``; atomic install.
 
@@ -393,6 +401,7 @@ def compile_shared_object(cc: str, source: str, key: str) -> str:
     directory = cache_dir()
     so_path = os.path.join(directory, f"{key}.so")
     if os.path.exists(so_path):
+        _CC_RUNS.inc(result="cached")
         return so_path
     pid = os.getpid()
     tmp_c = os.path.join(directory, f".{key}.{pid}.c")
@@ -402,15 +411,23 @@ def compile_shared_object(cc: str, source: str, key: str) -> str:
             handle.write(source)
         command = [cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
                    "-o", tmp_so, tmp_c, "-lm"]
-        try:
-            proc = subprocess.run(command, capture_output=True, text=True)
-        except OSError as error:
-            raise CCompileError(f"cannot run {cc!r}: {error}")
-        if proc.returncode != 0 or not os.path.exists(tmp_so):
-            detail = (proc.stderr or proc.stdout or "").strip()
-            raise CCompileError(
-                f"{cc} exited with {proc.returncode}"
-                + (f": {detail[:500]}" if detail else ""))
+        tracer = get_tracer()
+        with tracer.span("cbackend.cc", category="compile") as span:
+            if tracer.enabled:
+                span.attrs.update(cc=cc, key=key)
+            try:
+                proc = subprocess.run(command, capture_output=True,
+                                      text=True)
+            except OSError as error:
+                _CC_RUNS.inc(result="error")
+                raise CCompileError(f"cannot run {cc!r}: {error}")
+            if proc.returncode != 0 or not os.path.exists(tmp_so):
+                _CC_RUNS.inc(result="error")
+                detail = (proc.stderr or proc.stdout or "").strip()
+                raise CCompileError(
+                    f"{cc} exited with {proc.returncode}"
+                    + (f": {detail[:500]}" if detail else ""))
+        _CC_RUNS.inc(result="ok")
         os.replace(tmp_so, so_path)
         # Keep the source next to the object for inspection (same
         # atomic discipline; losing this race is harmless).

@@ -33,12 +33,23 @@ from repro.errors import EverestError
 from repro.ir import Module, Operation, Value, types as T
 from repro.ir.printer import print_module
 from repro.pipeline.cache import fingerprint
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import get_tracer
 from repro.tensorpipe.affine_interp import (
     AffineInterpreter,
     _dtype_for,
     bind_buffers,
 )
 from repro.tensorpipe.arena import ArenaPlan, plan_arena
+
+# Process-wide codegen metrics (the serve daemon exports them under
+# GET /metrics; see docs/observability.md for the naming rules).
+_CACHE_EVENTS = get_registry().counter(
+    "repro_codegen_cache_total",
+    "Compile-cache lookups of the numpy codegen backends", ("result",))
+_ARENA_BYTES = get_registry().gauge(
+    "repro_arena_planned_bytes",
+    "Planned static-arena footprint of the latest compiled-arena kernel")
 
 
 class UnsupportedAffineOp(EverestError):
@@ -767,37 +778,50 @@ def compile_numpy(module: Module, func_name: str, *,
             hit = _COMPILE_CACHE.get(key)
             if hit is not None:
                 _CACHE_HITS[0] += 1
+                _CACHE_EVENTS.inc(result="hit")
                 return hit
-    func = module.lookup(func_name)
-    flops = _static_flops(func)
-    kernel = None
-    if backend != "interpreter":
-        plan = plan_arena(func) if arena else None
-        compiler = AffineCompiler(module, func_name, tiled=tiled, arena=plan)
-        try:
-            source = compiler.generate()
-            namespace = {"np": np}
-            code = compile(source, f"<affine-codegen:{func_name}>", "exec")
-            exec(code, namespace)
+        _CACHE_EVENTS.inc(result="miss")
+    tracer = get_tracer()
+    with tracer.span("codegen.compile", category="compile") as span:
+        if tracer.enabled:
+            span.attrs.update(func=func_name, backend=backend)
+        func = module.lookup(func_name)
+        flops = _static_flops(func)
+        kernel = None
+        if backend != "interpreter":
+            plan = plan_arena(func) if arena else None
+            if plan is not None:
+                _ARENA_BYTES.set(plan.total_bytes)
+            compiler = AffineCompiler(module, func_name, tiled=tiled,
+                                      arena=plan)
+            try:
+                source = compiler.generate()
+                namespace = {"np": np}
+                code = compile(source, f"<affine-codegen:{func_name}>",
+                               "exec")
+                exec(code, namespace)
+                kernel = CompiledKernel(
+                    func_name=func_name, backend=backend, source=source,
+                    key=key, flops=flops,
+                    vectorized_nests=compiler.vectorized_nests,
+                    scalar_nests=compiler.scalar_nests,
+                    tileable_nests=compiler.tileable_nests,
+                    arena_bytes=plan.total_bytes if plan else 0,
+                    arena_slots=len(plan.slots) if plan else 0,
+                    _func=func, _fn=namespace["__kernel"],
+                )
+            except UnsupportedAffineOp:
+                kernel = None
+        if kernel is None:
+            fallback = backend if backend != "interpreter" else ""
             kernel = CompiledKernel(
-                func_name=func_name, backend=backend, source=source,
-                key=key, flops=flops,
-                vectorized_nests=compiler.vectorized_nests,
-                scalar_nests=compiler.scalar_nests,
-                tileable_nests=compiler.tileable_nests,
-                arena_bytes=plan.total_bytes if plan else 0,
-                arena_slots=len(plan.slots) if plan else 0,
-                _func=func, _fn=namespace["__kernel"],
+                func_name=func_name, backend="interpreter", key=key,
+                flops=flops, fallback=fallback,
+                _interp=AffineInterpreter(module, func_name),
             )
-        except UnsupportedAffineOp:
-            kernel = None
-    if kernel is None:
-        fallback = backend if backend != "interpreter" else ""
-        kernel = CompiledKernel(
-            func_name=func_name, backend="interpreter", key=key, flops=flops,
-            fallback=fallback,
-            _interp=AffineInterpreter(module, func_name),
-        )
+            span.set("fallback", True)
+        if kernel.arena_bytes:
+            span.set("arena_bytes", kernel.arena_bytes)
     if cache:
         with _CACHE_LOCK:
             _COMPILE_CACHE[key] = kernel

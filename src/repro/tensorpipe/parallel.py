@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional
 
 from repro.errors import EverestError
+from repro.telemetry.trace import current_span, get_tracer
 
 #: Minimum per-nest iteration count (loop-trip product) before the tile
 #: runner fans out; below it the closure runs serially — thread handoff
@@ -103,6 +104,14 @@ def _pool_for(jobs: int) -> ThreadPoolExecutor:
         return _POOL
 
 
+def pool_size() -> int:
+    """Current worker count of the shared pool (0 before first fan-out);
+    exported as the ``repro_tile_pool_workers`` gauge by the serve
+    daemon's ``GET /metrics``."""
+    with _POOL_LOCK:
+        return _POOL_SIZE
+
+
 def shutdown_pool() -> None:
     """Tear down the shared worker pool (tests, interpreter shutdown)."""
     global _POOL, _POOL_SIZE
@@ -145,7 +154,23 @@ def make_tile(jobs: Optional[int] = None,
             fn(0, extent)
             return
         pool = _pool_for(jobs)
-        futures = [pool.submit(fn, t0, t1) for t0, t1 in ranges]
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Context vars do not cross the pool boundary, so capture the
+            # submitting span here and hand it to each worker explicitly —
+            # tile spans then parent under the stage/run span that fanned
+            # out, and land on their worker's thread track in the trace.
+            parent = current_span()
+
+            def run_chunk(t0: int, t1: int) -> None:
+                with tracer.span("tile", parent=parent, category="exec") \
+                        as span:
+                    span.attrs.update(rows=t1 - t0, t0=t0, work=work)
+                    fn(t0, t1)
+
+            futures = [pool.submit(run_chunk, t0, t1) for t0, t1 in ranges]
+        else:
+            futures = [pool.submit(fn, t0, t1) for t0, t1 in ranges]
         for future in futures:
             future.result()  # propagate worker exceptions
 

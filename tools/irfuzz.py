@@ -500,7 +500,14 @@ def main(argv=None) -> int:
                         help="executor backend to fuzz in exec mode "
                              "(any name registered in "
                              "repro.tensorpipe.backends)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only log failures (suppress the summary "
+                             "line; CI smoke runs)")
     args = parser.parse_args(argv)
+    from repro.telemetry.log import configure_logging, get_logger
+
+    configure_logging("error" if args.quiet else "info")
+    log = get_logger("irfuzz")
     if args.mode == "roundtrip":
         check = check_roundtrip
         label = args.mode
@@ -517,9 +524,10 @@ def main(argv=None) -> int:
             check(seed)
         except Exception as error:  # pragma: no cover - campaign reporting
             failures += 1
-            print(f"seed {seed}: FAIL: {error}", file=sys.stderr)
-    print(f"irfuzz[{label}]: {args.count - failures}/{args.count} "
-          f"seeds ok (seeds {args.start}..{args.start + args.count - 1})")
+            log.error("seed %d: FAIL: %s", seed, error)
+    log.info("irfuzz[%s]: %d/%d seeds ok (seeds %d..%d)",
+             label, args.count - failures, args.count,
+             args.start, args.start + args.count - 1)
     return 1 if failures else 0
 
 

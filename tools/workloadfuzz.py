@@ -394,16 +394,24 @@ def main(argv=None) -> int:
                         help="number of seeds to run")
     parser.add_argument("--start", type=int, default=0,
                         help="first seed")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only log failures (suppress the summary "
+                             "line; CI smoke runs)")
     args = parser.parse_args(argv)
+    from repro.telemetry.log import configure_logging, get_logger
+
+    configure_logging("error" if args.quiet else "info")
+    log = get_logger("workloadfuzz")
     failures = 0
     for seed in range(args.start, args.start + args.count):
         try:
             check_workload(seed)
         except Exception as error:  # pragma: no cover - campaign reporting
             failures += 1
-            print(f"seed {seed}: FAIL: {error}", file=sys.stderr)
-    print(f"workloadfuzz: {args.count - failures}/{args.count} seeds ok "
-          f"(seeds {args.start}..{args.start + args.count - 1})")
+            log.error("seed %d: FAIL: %s", seed, error)
+    log.info("workloadfuzz: %d/%d seeds ok (seeds %d..%d)",
+             args.count - failures, args.count,
+             args.start, args.start + args.count - 1)
     return 1 if failures else 0
 
 
